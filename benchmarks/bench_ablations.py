@@ -1,0 +1,193 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation regenerates a compact table (harmonic-mean issue rates per
+loop class on M11BR5 and M5BR2) with one modelling knob flipped:
+
+* ``war``       -- WAR enforcement in the out-of-order buffer machine
+  (the paper elides WAR; correct hardware must enforce it);
+* ``bypass``    -- RUU bypass network on/off (the paper assumes bypass);
+* ``xbar``      -- X-Bar vs N-Bus vs 1-Bus result interconnect for the
+  in-order buffer machine (the paper reports X-Bar ~ N-Bus);
+* ``ordered-memory`` -- RUU loads/stores forced into program order among
+  themselves (the paper tracks register dependences only);
+* ``compiler``  -- list-scheduled vs naive source-order kernel encodings
+  (the paper's traces came from CFT, which scheduled code).
+
+Run:  pytest benchmarks/bench_ablations.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core import (
+    BusKind,
+    InOrderMultiIssueMachine,
+    M5BR2,
+    M11BR5,
+    OutOfOrderMultiIssueMachine,
+    RUUMachine,
+    cray_like_machine,
+)
+from repro.harness import harmonic_mean
+from repro.kernels import SCALAR_LOOPS, VECTORIZABLE_LOOPS, build_kernel
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_CONFIGS = (M11BR5, M5BR2)
+_CLASSES = {"scalar": SCALAR_LOOPS, "vectorizable": VECTORIZABLE_LOOPS}
+
+
+def _traces(schedule: bool = True):
+    return {
+        label: [build_kernel(n, schedule=schedule).trace() for n in loops]
+        for label, loops in _CLASSES.items()
+    }
+
+
+def _sweep(simulators, traces):
+    """rows of (label, {column: hmean rate})."""
+    rows = []
+    for sim_label, sim in simulators:
+        values = {}
+        for class_label, class_traces in traces.items():
+            for config in _CONFIGS:
+                rate = harmonic_mean(
+                    sim.issue_rate(trace, config) for trace in class_traces
+                )
+                values[f"{class_label} {config.name}"] = rate
+        rows.append((sim_label, values))
+    return rows
+
+
+def _report(name: str, rows) -> str:
+    columns = sorted(rows[0][1])
+    width = max(len(c) + 2 for c in columns)
+    lines = [f"ablation: {name}"]
+    lines.append(" " * 30 + "".join(f"{c:>{width}}" for c in columns))
+    for label, values in rows:
+        lines.append(
+            f"{label:<30}"
+            + "".join(f"{values[c]:>{width}.3f}" for c in columns)
+        )
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"ablation_{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def test_ablation_war(benchmark):
+    """WAR enforcement barely moves the OOO buffer machine's rates."""
+    traces = _traces()
+
+    def build():
+        return _sweep(
+            [
+                ("ooo x4, WAR enforced", OutOfOrderMultiIssueMachine(4)),
+                (
+                    "ooo x4, WAR ignored",
+                    OutOfOrderMultiIssueMachine(4, enforce_war=False),
+                ),
+            ],
+            traces,
+        )
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    _report("war", rows)
+    strict, loose = dict(rows)["ooo x4, WAR enforced"], dict(rows)["ooo x4, WAR ignored"]
+    for column, value in strict.items():
+        assert abs(loose[column] - value) / value < 0.10
+
+
+def test_ablation_ruu_bypass(benchmark):
+    """Removing the RUU bypass network costs a visible slice of rate."""
+    traces = _traces()
+
+    def build():
+        return _sweep(
+            [
+                ("RUU x4 R=50, bypass", RUUMachine(4, 50)),
+                ("RUU x4 R=50, no bypass", RUUMachine(4, 50, bypass=False)),
+            ],
+            traces,
+        )
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    _report("ruu_bypass", rows)
+    with_bp, without = dict(rows).values()
+    for column in with_bp:
+        assert without[column] <= with_bp[column] + 1e-9
+
+
+def test_ablation_bus_interconnect(benchmark):
+    """X-Bar ~ N-Bus >> nothing: the paper's Section 5.1 bus finding."""
+    traces = _traces()
+
+    def build():
+        return _sweep(
+            [
+                ("in-order x4, X-Bar", InOrderMultiIssueMachine(4, BusKind.X_BAR)),
+                ("in-order x4, N-Bus", InOrderMultiIssueMachine(4, BusKind.N_BUS)),
+                ("in-order x4, 1-Bus", InOrderMultiIssueMachine(4, BusKind.ONE_BUS)),
+            ],
+            traces,
+        )
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    _report("bus_interconnect", rows)
+    xbar, nbus, onebus = (values for _, values in rows)
+    for column in xbar:
+        assert xbar[column] >= nbus[column] - 1e-9
+        # Paper: X-Bar results "essentially the same" as N-Bus.
+        assert abs(xbar[column] - nbus[column]) / nbus[column] < 0.03
+        assert onebus[column] <= nbus[column] + 1e-9
+
+
+def test_ablation_ordered_memory(benchmark):
+    """Serialising memory operations in the RUU costs throughput."""
+    traces = _traces()
+
+    def build():
+        return _sweep(
+            [
+                ("RUU x4 R=50, free memory", RUUMachine(4, 50)),
+                (
+                    "RUU x4 R=50, ordered memory",
+                    RUUMachine(4, 50, ordered_memory=True),
+                ),
+            ],
+            traces,
+        )
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    _report("ordered_memory", rows)
+    free, ordered = dict(rows).values()
+    for column in free:
+        assert ordered[column] <= free[column] + 1e-9
+
+
+def test_ablation_compiler_scheduling(benchmark):
+    """List-scheduled code raises issue rates on the CRAY-like machine."""
+
+    def build():
+        scheduled = _traces(schedule=True)
+        naive = _traces(schedule=False)
+        sim = cray_like_machine()
+        rows = []
+        for label, traces in (("scheduled", scheduled), ("naive", naive)):
+            values = {}
+            for class_label, class_traces in traces.items():
+                for config in _CONFIGS:
+                    values[f"{class_label} {config.name}"] = harmonic_mean(
+                        sim.issue_rate(trace, config) for trace in class_traces
+                    )
+            rows.append((f"CRAY-like, {label} code", values))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    _report("compiler_scheduling", rows)
+    scheduled, naive = (values for _, values in rows)
+    for column in scheduled:
+        assert scheduled[column] >= naive[column] * 0.999

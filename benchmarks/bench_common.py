@@ -1,0 +1,42 @@
+"""Shared machinery for the table-regeneration benchmarks.
+
+Each ``bench_tableN.py`` regenerates one of the paper's tables at full
+problem size inside ``pytest-benchmark`` (single round -- the quantity of
+interest is the table itself plus how long regeneration takes), prints the
+measured table next to the paper's reported numbers, and archives both in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness import PAPER_TABLES, compare_tables, relative_error
+from repro.harness.tables import ResultTable
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def run_table_benchmark(benchmark, table_id: str, build) -> ResultTable:
+    """Regenerate a paper table under the benchmark harness and archive it."""
+    measured: ResultTable = benchmark.pedantic(
+        build, rounds=1, iterations=1, warmup_rounds=0
+    )
+    reference = PAPER_TABLES[table_id]
+
+    lines = [measured.render(), "", reference.render()]
+    pairs = compare_tables(measured, reference)
+    if pairs:
+        errors = [relative_error(m, r) for _, _, m, r in pairs]
+        mean_abs = sum(abs(e) for e in errors) / len(errors)
+        lines.append(
+            f"\n[{len(pairs)} comparable cells; mean |relative deviation| "
+            f"vs paper = {mean_abs:.1%}]"
+        )
+    report = "\n".join(lines)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{table_id}.txt").write_text(report + "\n")
+    print()
+    print(report)
+    return measured

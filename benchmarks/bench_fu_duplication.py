@@ -1,0 +1,97 @@
+"""Extension study: duplicating functional units vs the resource limit.
+
+Section 4's resource limit assumes exactly one copy of every functional
+unit ("there is only 1 floating point multiply unit and this unit can
+only accept 1 new floating point operation every clock cycle").  This
+benchmark duplicates every unit -- including the memory port -- on the
+RUU machine and measures how much of the bottleneck that buys, alongside
+the recomputed resource limit.
+
+Expected shapes: the memory port is the usual bottleneck, so doubling
+units mostly buys memory bandwidth; gains shrink quickly because the
+dataflow (branch/recurrence) limits take over.
+
+Run:  pytest benchmarks/bench_fu_duplication.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core import M11BR5, RUUMachine
+from repro.harness import harmonic_mean
+from repro.kernels import SCALAR_LOOPS, VECTORIZABLE_LOOPS, build_kernel
+from repro.limits import resource_limit
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_CLASSES = {"scalar": SCALAR_LOOPS, "vectorizable": VECTORIZABLE_LOOPS}
+_COPIES = (1, 2, 4)
+
+
+def test_fu_duplication_study(benchmark):
+    traces = {
+        label: [build_kernel(n).trace() for n in loops]
+        for label, loops in _CLASSES.items()
+    }
+
+    def build():
+        rows = []
+        for copies in _COPIES:
+            machine = RUUMachine(4, 100, fu_copies=copies)
+            values = {}
+            for class_label, class_traces in traces.items():
+                values[class_label] = harmonic_mean(
+                    machine.issue_rate(trace, M11BR5)
+                    for trace in class_traces
+                )
+                # Resource limit with k copies: each unit's span shrinks
+                # toward count/k + latency.
+                values[f"{class_label} limit"] = harmonic_mean(
+                    len(trace)
+                    / max(
+                        count / copies + M11BR5.latencies.latency(unit)
+                        for unit, count in _unit_counts(trace).items()
+                    )
+                    for trace in class_traces
+                )
+            rows.append((copies, values))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+
+    lines = ["Functional-unit duplication on the RUU machine (x4, R=100, M11BR5)", ""]
+    lines.append(
+        f"{'copies':<8}{'scalar':>10}{'scalar limit':>14}"
+        f"{'vectorizable':>14}{'vector limit':>14}"
+    )
+    lines.append("-" * 60)
+    for copies, values in rows:
+        lines.append(
+            f"{copies:<8}{values['scalar']:>10.3f}"
+            f"{values['scalar limit']:>14.3f}"
+            f"{values['vectorizable']:>14.3f}"
+            f"{values['vectorizable limit']:>14.3f}"
+        )
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fu_duplication.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    by_copies = dict(rows)
+    for class_label in _CLASSES:
+        assert by_copies[2][class_label] >= by_copies[1][class_label] - 1e-9
+        # Diminishing returns: 2 -> 4 gains less than 1 -> 2.
+        gain_12 = by_copies[2][class_label] - by_copies[1][class_label]
+        gain_24 = by_copies[4][class_label] - by_copies[2][class_label]
+        assert gain_24 <= gain_12 + 0.02
+
+
+def _unit_counts(trace):
+    from collections import Counter
+
+    counts = Counter()
+    for entry in trace:
+        counts[entry.instruction.unit] += 1
+    return counts

@@ -1,0 +1,33 @@
+"""Appendix: per-loop issue rates behind the paper's harmonic means.
+
+The paper reports only class harmonic means; this archive shows every
+loop individually on M11BR5 across the main machine spectrum, next to its
+dataflow limit -- the transparency table a reviewer would ask for.
+
+Run:  pytest benchmarks/bench_per_loop.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.experiments import per_loop_table
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def test_per_loop_breakdown(benchmark):
+    table = benchmark.pedantic(
+        per_loop_table, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report = table.render(precision=3)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "per_loop.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    # Spot-check the lattice per loop.
+    for label, values in table.rows:
+        assert values["Simple"] <= values["CRAY-like"] + 1e-9
+        assert values["CRAY-like"] <= values["RUU x4 R=50"] + 1e-9
+        assert values["RUU x4 R=50"] <= values["DF limit"] * 1.0001

@@ -1,0 +1,14 @@
+"""Regenerate the paper's Table 2: pseudo-dataflow, resource and actual limits (Pure and Serial).
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from repro.harness import table2
+
+from bench_common import run_table_benchmark
+
+
+def test_table2(benchmark):
+    """Table 2 at full problem size, archived under benchmarks/results/."""
+    measured = run_table_benchmark(benchmark, "table2", table2)
+    assert measured.rows

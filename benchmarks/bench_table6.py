@@ -1,0 +1,14 @@
+"""Regenerate the paper's Table 6: multiple issue units, out-of-order issue, vectorizable code.
+
+Run:  pytest benchmarks/bench_table6.py --benchmark-only -s
+"""
+
+from repro.harness import table6
+
+from bench_common import run_table_benchmark
+
+
+def test_table6(benchmark):
+    """Table 6 at full problem size, archived under benchmarks/results/."""
+    measured = run_table_benchmark(benchmark, "table6", table6)
+    assert measured.rows

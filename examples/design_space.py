@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space exploration: issue methods x machine variants.
+
+Sweeps a grid of machine organisations (built from registry specification
+strings) over the scalar and vectorizable Livermore loop classes, printing
+the harmonic-mean issue rate for each of the paper's four memory/branch
+variants -- a condensed view of the whole paper in one run.
+
+Run:  python examples/design_space.py            (full-size loops, ~1 min)
+      python examples/design_space.py --small    (reduced sizes, seconds)
+"""
+
+import argparse
+
+from repro import STANDARD_CONFIGS, build_simulator, harmonic_mean
+from repro.kernels import SCALAR_LOOPS, SMALL_SIZES, VECTORIZABLE_LOOPS, build_kernel
+
+SPECS = [
+    "simple",
+    "serialmemory",
+    "nonsegmented",
+    "cray",
+    "inorder:2",
+    "inorder:4",
+    "ooo:4",
+    "ooo:8",
+    "ruu:1:50",
+    "ruu:2:50",
+    "ruu:4:50",
+    "ruu:4:50:1bus",
+]
+
+
+def class_traces(loops, small: bool):
+    traces = []
+    for number in loops:
+        kernel = build_kernel(number, SMALL_SIZES[number] if small else None)
+        traces.append(kernel.trace() if not small else kernel.verify())
+    return traces
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--small", action="store_true", help="reduced loop sizes")
+    args = parser.parse_args()
+
+    groups = {
+        "scalar": class_traces(SCALAR_LOOPS, args.small),
+        "vectorizable": class_traces(VECTORIZABLE_LOOPS, args.small),
+    }
+
+    for class_label, traces in groups.items():
+        print(f"=== {class_label} loops "
+              f"(harmonic mean over {len(traces)} kernels) ===")
+        header = f"{'organisation':<18}" + "".join(
+            f"{c.name:>9}" for c in STANDARD_CONFIGS
+        )
+        print(header)
+        print("-" * len(header))
+        for spec in SPECS:
+            sim = build_simulator(spec)
+            row = []
+            for config in STANDARD_CONFIGS:
+                rate = harmonic_mean(
+                    sim.issue_rate(trace, config) for trace in traces
+                )
+                row.append(f"{rate:>9.3f}")
+            print(f"{spec:<18}" + "".join(row))
+        print()
+
+
+if __name__ == "__main__":
+    main()

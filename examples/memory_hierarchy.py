@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Behind the M5 idealisation: real caches and banked memories.
+
+The paper prices memory at a flat 11 (CRAY-1) or 5 (cache-assumed) cycles.
+This example puts an actual memory system behind the CRAY-like core using
+the effective addresses recorded in the traces: a set-associative cache
+with hit/miss latencies, and a CRAY-1-style 16-bank memory with a 4-cycle
+bank-busy time.  It prints per-loop hit ratios and where each
+configuration lands between the two idealisations.
+
+Run:  python examples/memory_hierarchy.py
+"""
+
+from repro import M11BR5, build_kernel
+from repro.kernels import ALL_LOOPS, classify
+from repro.memsys import (
+    BankedMemory,
+    Cache,
+    CachedMemory,
+    ConflictMemory,
+    MemoryAwareMachine,
+    UniformMemory,
+)
+
+
+def main() -> None:
+    ideal_slow = MemoryAwareMachine(lambda: UniformMemory(11))
+    ideal_fast = MemoryAwareMachine(lambda: UniformMemory(5))
+
+    print(
+        f"{'loop':<6}{'class':<14}{'M11':>7}{'banked':>8}"
+        f"{'cache 1K':>10}{'hit%':>6}{'M5':>7}"
+    )
+    print("-" * 58)
+    for number in ALL_LOOPS:
+        trace = build_kernel(number).trace()
+
+        cache = Cache(1024, line_words=4, associativity=2)
+        cached_model = CachedMemory(cache)
+        cached = MemoryAwareMachine(lambda m=cached_model: m)
+        banked = MemoryAwareMachine(
+            lambda: ConflictMemory(BankedMemory(16, 4), 11)
+        )
+
+        slow = ideal_slow.issue_rate(trace, M11BR5)
+        conflict = banked.issue_rate(trace, M11BR5)
+        with_cache = cached.issue_rate(trace, M11BR5)
+        fast = ideal_fast.issue_rate(trace, M11BR5)
+        print(
+            f"{number:<6}{classify(number).value:<14}{slow:>7.3f}"
+            f"{conflict:>8.3f}{with_cache:>10.3f}"
+            f"{cache.stats.hit_ratio:>6.0%}{fast:>7.3f}"
+        )
+
+    print()
+    print("banked: 16 banks, 4-cycle busy -- conflicts are negligible at")
+    print("single-issue rates, validating the paper's perfect interleaving.")
+    print("cache: 1024 words, 4-word lines, 2-way LRU, hit 5 / miss 11 --")
+    print("streaming kernels are compulsory-miss bound, so a cache delivers")
+    print("most but not all of the M5 idealisation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for legacy editable installs (offline environment, no wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro -- a reproduction of Pleszkun & Sohi (1988),
+"The Performance Potential of Multiple Functional Unit Processors".
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa`     -- the CRAY-like base instruction set and unit timings;
+* :mod:`repro.asm`     -- assembly DSL, assembler, memory and functional
+  interpreter (the trace-capture substrate);
+* :mod:`repro.kernels` -- the 14 Lawrence Livermore Loops as assembly
+  kernels with NumPy reference verification;
+* :mod:`repro.trace`   -- dynamic traces, statistics and caching;
+* :mod:`repro.core`    -- the timing simulators for every issue method the
+  paper studies (Simple, SerialMemory, NonSegmented, CRAY-like, in-order
+  and out-of-order multi-issue, RUU dependency resolution);
+* :mod:`repro.limits`  -- pseudo-dataflow / resource / serial limits;
+* :mod:`repro.harness` -- experiments regenerating Tables 1-8, paper data
+  and comparison machinery.
+
+Quickstart::
+
+    from repro import build_kernel, cray_like_machine, M11BR5
+
+    kernel = build_kernel(5)          # Livermore loop 5 (tri-diagonal)
+    trace = kernel.trace()            # verified dynamic trace
+    result = cray_like_machine().simulate(trace, M11BR5)
+    print(result.issue_rate)
+"""
+
+from .core import (
+    BusKind,
+    InOrderMultiIssueMachine,
+    M5BR2,
+    M5BR5,
+    M11BR2,
+    M11BR5,
+    MachineConfig,
+    OutOfOrderMultiIssueMachine,
+    RUUMachine,
+    SimpleMachine,
+    SimulationResult,
+    Simulator,
+    STANDARD_CONFIGS,
+    build_simulator,
+    config_by_name,
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+from .harness import harmonic_mean
+from .kernels import (
+    ALL_LOOPS,
+    SCALAR_LOOPS,
+    VECTORIZABLE_LOOPS,
+    KernelInstance,
+    LoopClass,
+    build_kernel,
+    classify,
+)
+from .limits import compute_limits, pseudo_dataflow_schedule, resource_limit
+from .trace import Trace, TraceEntry, generate_trace, trace_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_LOOPS",
+    "BusKind",
+    "InOrderMultiIssueMachine",
+    "KernelInstance",
+    "LoopClass",
+    "M11BR2",
+    "M11BR5",
+    "M5BR2",
+    "M5BR5",
+    "MachineConfig",
+    "OutOfOrderMultiIssueMachine",
+    "RUUMachine",
+    "SCALAR_LOOPS",
+    "STANDARD_CONFIGS",
+    "SimpleMachine",
+    "SimulationResult",
+    "Simulator",
+    "Trace",
+    "TraceEntry",
+    "VECTORIZABLE_LOOPS",
+    "build_kernel",
+    "build_simulator",
+    "classify",
+    "compute_limits",
+    "config_by_name",
+    "cray_like_machine",
+    "generate_trace",
+    "harmonic_mean",
+    "non_segmented_machine",
+    "pseudo_dataflow_schedule",
+    "resource_limit",
+    "serial_memory_machine",
+    "trace_stats",
+    "__version__",
+]

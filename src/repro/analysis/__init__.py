@@ -1,0 +1,14 @@
+"""Schedule analysis: stall attribution, pipeline timelines, critical paths."""
+
+from .critical import CriticalPath, critical_path
+from .stalls import StallBreakdown, stall_breakdown
+from .timeline import record_schedule, render_timeline
+
+__all__ = [
+    "CriticalPath",
+    "StallBreakdown",
+    "critical_path",
+    "record_schedule",
+    "render_timeline",
+    "stall_breakdown",
+]

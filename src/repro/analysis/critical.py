@@ -1,0 +1,89 @@
+"""Critical-path extraction from the pseudo-dataflow schedule.
+
+The dataflow limit of Section 4 is a critical-path length; this module
+surfaces *which* instructions form that path (the chain of producers and
+branch resolutions that no machine can compress), along with a summary of
+what the path is made of -- the actionable form of "the encoding's
+critical path", since the paper notes the limit "is a property of the
+encoding of the benchmark program".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.config import MachineConfig
+from ..isa import FunctionalUnit
+from ..limits.dataflow import pseudo_dataflow_schedule
+from ..trace import Trace
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The dataflow critical path of one trace.
+
+    Attributes:
+        trace_name: the analysed benchmark.
+        makespan: critical-path length in cycles.
+        indices: dynamic instruction indices on the path, in order.
+        unit_cycles: cycles the path spends in each functional unit.
+    """
+
+    trace_name: str
+    makespan: int
+    indices: Tuple[int, ...]
+    unit_cycles: Counter
+
+    @property
+    def length(self) -> int:
+        return len(self.indices)
+
+    def dominant_unit(self) -> FunctionalUnit:
+        """The unit contributing most cycles to the path."""
+        return self.unit_cycles.most_common(1)[0][0]
+
+    def render(self, trace: Trace, limit: int = 12) -> str:
+        """Human-readable path summary (first *limit* hops)."""
+        lines = [
+            f"critical path of {self.trace_name}: {self.length} instructions "
+            f"/ {self.makespan} cycles"
+        ]
+        for unit, cycles in self.unit_cycles.most_common():
+            lines.append(
+                f"  {unit.value:<26} {cycles:>6} cycles "
+                f"({cycles / self.makespan:.0%})"
+            )
+        lines.append("  first hops:")
+        for index in self.indices[:limit]:
+            lines.append(f"    [{index:>5}] {trace[index].instruction}")
+        if self.length > limit:
+            lines.append(f"    ... {self.length - limit} more")
+        return "\n".join(lines)
+
+
+def critical_path(
+    trace: Trace,
+    config: MachineConfig,
+    *,
+    serial_waw: bool = False,
+) -> CriticalPath:
+    """Extract the pseudo-dataflow critical path of *trace*."""
+    schedule = pseudo_dataflow_schedule(
+        trace, config, serial_waw=serial_waw, detail=True
+    )
+    indices = schedule.critical_path()
+
+    latencies = config.latencies
+    unit_cycles: Counter = Counter()
+    for index in indices:
+        instr = trace[index].instruction
+        unit_cycles[instr.unit] += instr.latency(latencies)
+
+    return CriticalPath(
+        trace_name=trace.name,
+        makespan=schedule.makespan,
+        indices=indices,
+        unit_cycles=unit_cycles,
+    )

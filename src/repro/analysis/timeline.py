@@ -1,0 +1,75 @@
+"""Text pipeline timelines (Gantt diagrams) for issue schedules.
+
+Renders a window of a recorded schedule as the classic pipeline diagram:
+one row per instruction, one column per cycle, ``I`` at issue, ``=``
+while the operation is in a functional unit, ``*`` at completion.
+Useful for eyeballing exactly why a loop body stalls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.config import MachineConfig
+from ..core.scoreboard import IssueRecord, ScoreboardMachine, cray_like_machine
+from ..trace import Trace
+
+
+def record_schedule(
+    trace: Trace,
+    config: MachineConfig,
+    machine: Optional[ScoreboardMachine] = None,
+) -> List[IssueRecord]:
+    """Per-instruction issue records for *trace* on *machine*."""
+    machine = machine or cray_like_machine()
+    records: List[IssueRecord] = []
+    machine.simulate_recorded(trace, config, records.append)
+    return records
+
+
+def render_timeline(
+    trace: Trace,
+    records: Sequence[IssueRecord],
+    *,
+    first: int = 0,
+    count: int = 20,
+    max_width: int = 100,
+) -> str:
+    """Render instructions ``[first, first+count)`` as a pipeline diagram.
+
+    Args:
+        trace: the trace the records came from (for disassembly).
+        records: schedule records from :func:`record_schedule`.
+        first: first dynamic instruction to show.
+        count: how many instructions to show.
+        max_width: clip the cycle axis to this many columns.
+    """
+    window = records[first : first + count]
+    if not window:
+        raise ValueError(f"empty window [{first}, {first + count})")
+
+    origin = min(r.issue for r in window)
+    span = max(r.complete for r in window) - origin + 1
+    span = min(span, max_width)
+
+    header_label = f"cycle {origin} +"
+    lines = [f"{'':<36}{header_label}"]
+    axis = "".join(str((origin + c) % 10) for c in range(span))
+    lines.append(f"{'':<36}{axis}")
+
+    for record in window:
+        instr = trace[record.seq].instruction
+        label = f"{record.seq:>5}  {str(instr).split(';')[0].strip():<27}"
+        row = [" "] * span
+        issue_col = record.issue - origin
+        if 0 <= issue_col < span:
+            row[issue_col] = "I"
+        for cycle in range(record.issue + 1, record.complete):
+            col = cycle - origin
+            if 0 <= col < span:
+                row[col] = "="
+        done_col = record.complete - origin
+        if 0 <= done_col < span:
+            row[done_col] = "*"
+        lines.append(f"{label[:35]:<36}{''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Assembly layer: program builder DSL, assembler, memory and interpreter.
+
+This package is the reproduction's "compiler + trace capture" substrate.
+Benchmark kernels are written with :class:`ProgramBuilder`, assembled into
+immutable :class:`Program` objects, and executed on a :class:`Memory` image
+by :func:`run` -- which resolves every branch on real data, yielding the
+dynamic instruction stream the timing simulators replay.
+"""
+
+from .assembler import assemble
+from .builder import ProgramBuilder
+from .errors import AsmError, AssemblerError, ExecutionError, StepLimitExceeded
+from .interpreter import DEFAULT_MAX_STEPS, ExecutionResult, run
+from .memory import ArraySpec, Memory
+from .parser import ParseError, parse_program
+from .program import Program
+from .scheduler import schedule_program
+
+__all__ = [
+    "ArraySpec",
+    "AsmError",
+    "AssemblerError",
+    "DEFAULT_MAX_STEPS",
+    "ExecutionError",
+    "ExecutionResult",
+    "Memory",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "StepLimitExceeded",
+    "assemble",
+    "parse_program",
+    "run",
+    "schedule_program",
+]

@@ -1,0 +1,116 @@
+"""Explicit-addressing expansion: a CFT-style code-bulk model.
+
+The reproduction's kernels fold array bases into load/store displacements
+(one shared index register per loop) -- the *tightest* plausible scalar
+encoding.  Real CFT output computed many effective addresses with explicit
+A-register arithmetic, which adds cheap 1-2 cycle instructions to every
+iteration.  On an issue-blocking machine those extra instructions issue
+nearly back-to-back, so bulkier code *raises* the issue rate -- one of the
+reasons the paper's absolute numbers sit above this reproduction's (see
+EXPERIMENTS.md's calibration note).
+
+:func:`expand_addressing` makes that effect measurable: it rewrites each
+scalar memory reference
+
+    LOADS  Sd, Ab, disp      ->      AADD  Ax, Ab, disp
+                                     LOADS Sd, Ax, 0
+
+using scratch A registers the program never touches (round-robin when
+several are free).  The transformation is semantics-preserving by
+construction and verified by the kernel machinery like every other
+variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..isa import Instruction, Opcode, RegFile, Register
+from .errors import AssemblerError
+from .program import Program
+
+
+class AddressingError(AssemblerError):
+    """The program has no free A registers to expand into."""
+
+
+def free_address_registers(program: Program) -> Tuple[Register, ...]:
+    """A registers the program neither reads nor writes."""
+    used = set()
+    for instr in program.instructions:
+        for reg in instr.source_registers:
+            used.add(reg)
+        if instr.dest is not None:
+            used.add(instr.dest)
+    return tuple(
+        Register(RegFile.A, index)
+        for index in range(RegFile.A.size)
+        if Register(RegFile.A, index) not in used
+    )
+
+
+def expand_addressing(program: Program) -> Program:
+    """Rewrite folded displacements as explicit address arithmetic.
+
+    Every scalar load/store with a nonzero displacement becomes an
+    ``AADD`` into a scratch register followed by the access at
+    displacement 0.  Labels follow their instruction (landing on the
+    inserted ``AADD`` when the labelled instruction was expanded).
+
+    Raises:
+        AddressingError: if the program already uses all eight A registers.
+    """
+    scratch = free_address_registers(program)
+    if not scratch:
+        raise AddressingError(
+            f"program {program.name!r} uses every A register; "
+            "nothing free for explicit addressing"
+        )
+
+    new_instructions: List[Instruction] = []
+    first_of: List[int] = []  # old index -> first new index emitted for it
+    rotor = 0
+
+    for instr in program.instructions:
+        first_of.append(len(new_instructions))
+        pair = _expand_one(instr, scratch, rotor)
+        if pair is None:
+            new_instructions.append(instr)
+        else:
+            rotor += 1
+            new_instructions.extend(pair)
+
+    boundaries = first_of + [len(new_instructions)]
+    new_labels = {
+        label: boundaries[position]
+        for label, position in program.labels.items()
+    }
+
+    return Program(
+        name=f"{program.name}-explicit-addr",
+        instructions=tuple(new_instructions),
+        labels=new_labels,
+    )
+
+
+def _expand_one(instr: Instruction, scratch, rotor):
+    """(AADD, access) pair for an expandable memory reference, else None."""
+    if instr.opcode in (Opcode.LOADS, Opcode.LOADA):
+        base, disp = instr.srcs
+        if disp == 0:
+            return None
+        reg = scratch[rotor % len(scratch)]
+        return (
+            Instruction(Opcode.AADD, reg, (base, disp)),
+            Instruction(instr.opcode, instr.dest, (reg, 0), comment=instr.comment),
+        )
+    if instr.opcode in (Opcode.STORES, Opcode.STOREA):
+        data, base, disp = instr.srcs
+        if disp == 0:
+            return None
+        reg = scratch[rotor % len(scratch)]
+        return (
+            Instruction(Opcode.AADD, reg, (base, disp)),
+            Instruction(instr.opcode, None, (data, reg, 0), comment=instr.comment),
+        )
+    return None

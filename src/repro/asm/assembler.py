@@ -1,0 +1,60 @@
+"""Two-pass assembler: label resolution and structural validation.
+
+The assembler turns the builder's item stream (instructions interleaved
+with label markers) into an immutable :class:`~repro.asm.program.Program`.
+Operand-level validation already happened when each
+:class:`~repro.isa.Instruction` was constructed; this layer checks the
+program-level properties:
+
+* labels are unique,
+* every branch targets a defined label,
+* the program is non-empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from ..isa import Instruction
+from .errors import AssemblerError
+from .program import Program
+
+
+def assemble(name: str, items: Iterable[Union[Instruction, str]]) -> Program:
+    """Assemble *items* (instructions and label strings) into a program.
+
+    Labels bind to the next instruction; a trailing label binds to program
+    end (index ``len(instructions)``), which is a valid forward-exit target.
+
+    Raises:
+        AssemblerError: on duplicate labels, undefined branch targets or an
+            empty program.
+    """
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for item in items:
+        if isinstance(item, Instruction):
+            instructions.append(item)
+        elif isinstance(item, str):
+            if not item or not item.strip():
+                raise AssemblerError("empty label name")
+            if item in labels:
+                raise AssemblerError(f"duplicate label {item!r}")
+            labels[item] = len(instructions)
+        else:
+            raise AssemblerError(
+                f"program items must be Instructions or label strings, "
+                f"got {item!r}"
+            )
+
+    if not instructions:
+        raise AssemblerError(f"program {name!r} has no instructions")
+
+    for instr in instructions:
+        if instr.is_branch and instr.target not in labels:
+            raise AssemblerError(
+                f"branch {instr} targets undefined label {instr.target!r}"
+            )
+
+    return Program(name=name, instructions=tuple(instructions), labels=labels)

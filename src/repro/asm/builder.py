@@ -1,0 +1,245 @@
+"""A small embedded DSL for writing CRAY-like assembly programs.
+
+Kernels are written against :class:`ProgramBuilder`, which has one lowercase
+method per opcode plus labels::
+
+    b = ProgramBuilder("first-sum")
+    b.ai(A(1), 0, comment="element index")
+    b.label("loop")
+    b.loads(S(1), A(1), Y_BASE)
+    b.fadd(S(2), S(2), S(1))
+    b.stores(S(2), A(1), X_BASE)
+    b.aadd(A(1), A(1), 1)
+    b.asub(A(0), A(0), 1)
+    b.jan("loop")
+    program = b.build()
+
+``build()`` runs the assembler, which checks label integrity and produces an
+immutable :class:`~repro.asm.program.Program`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..isa import A0, Instruction, Opcode, Operand, Register
+from .assembler import assemble
+from .program import Program
+
+#: An item recorded by the builder: either an instruction or a label marker.
+_LabelMarker = str
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`.
+
+    The builder records instructions and label positions in order; labels
+    bind to the next instruction appended (or to program end).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._items: List[Union[Instruction, _LabelMarker]] = []
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        """Bind *name* to the position of the next instruction."""
+        self._items.append(name)
+        return self
+
+    def emit(self, instr: Instruction) -> "ProgramBuilder":
+        """Append an already-constructed instruction."""
+        self._items.append(instr)
+        return self
+
+    def build(self) -> Program:
+        """Assemble the recorded items into an immutable program."""
+        return assemble(self.name, self._items)
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._items if isinstance(item, Instruction))
+
+    # ------------------------------------------------------------------
+    # immediates and moves
+    # ------------------------------------------------------------------
+    def ai(self, dest: Register, value: int, comment: str = "") -> "ProgramBuilder":
+        """``A[dest] <- value`` (integer immediate)."""
+        return self._op(Opcode.AI, dest, (value,), comment=comment)
+
+    def si(self, dest: Register, value: Union[int, float], comment: str = "") -> "ProgramBuilder":
+        """``S[dest] <- value`` (numeric immediate; ints stay exact)."""
+        return self._op(Opcode.SI, dest, (value,), comment=comment)
+
+    def amove(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.AMOVE, dest, (src,), comment=comment)
+
+    def smove(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SMOVE, dest, (src,), comment=comment)
+
+    def ats(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        """``S[dest] <- A[src]`` (transmit address value to scalar file)."""
+        return self._op(Opcode.ATS, dest, (src,), comment=comment)
+
+    def sta(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        """``A[dest] <- S[src]`` (transmit scalar value to address file)."""
+        return self._op(Opcode.STA, dest, (src,), comment=comment)
+
+    def fix(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        """``A[dest] <- trunc(S[src])``."""
+        return self._op(Opcode.FIX, dest, (src,), comment=comment)
+
+    def float_(self, dest: Register, src: Register, comment: str = "") -> "ProgramBuilder":
+        """``S[dest] <- float(A[src])``."""
+        return self._op(Opcode.FLOAT, dest, (src,), comment=comment)
+
+    # ------------------------------------------------------------------
+    # address arithmetic
+    # ------------------------------------------------------------------
+    def aadd(self, dest: Register, a: Operand, b: Operand, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.AADD, dest, (a, b), comment=comment)
+
+    def asub(self, dest: Register, a: Operand, b: Operand, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.ASUB, dest, (a, b), comment=comment)
+
+    def amul(self, dest: Register, a: Operand, b: Operand, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.AMUL, dest, (a, b), comment=comment)
+
+    # ------------------------------------------------------------------
+    # scalar integer / logical / shift
+    # ------------------------------------------------------------------
+    def sadd(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SADD, dest, (a, b), comment=comment)
+
+    def ssub(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SSUB, dest, (a, b), comment=comment)
+
+    def sand(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SAND, dest, (a, b), comment=comment)
+
+    def sor(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SOR, dest, (a, b), comment=comment)
+
+    def sxor(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SXOR, dest, (a, b), comment=comment)
+
+    def sshl(self, dest: Register, a: Register, count: Union[Register, int], comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SSHL, dest, (a, count), comment=comment)
+
+    def sshr(self, dest: Register, a: Register, count: Union[Register, int], comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.SSHR, dest, (a, count), comment=comment)
+
+    # ------------------------------------------------------------------
+    # floating point
+    # ------------------------------------------------------------------
+    def fadd(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.FADD, dest, (a, b), comment=comment)
+
+    def fsub(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.FSUB, dest, (a, b), comment=comment)
+
+    def fmul(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.FMUL, dest, (a, b), comment=comment)
+
+    def frecip(self, dest: Register, a: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.FRECIP, dest, (a,), comment=comment)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def loads(self, dest: Register, base: Register, disp: int = 0, comment: str = "") -> "ProgramBuilder":
+        """``S[dest] <- mem[A[base] + disp]``."""
+        return self._op(Opcode.LOADS, dest, (base, disp), comment=comment)
+
+    def loada(self, dest: Register, base: Register, disp: int = 0, comment: str = "") -> "ProgramBuilder":
+        """``A[dest] <- mem[A[base] + disp]`` (value truncated to int)."""
+        return self._op(Opcode.LOADA, dest, (base, disp), comment=comment)
+
+    def stores(self, src: Register, base: Register, disp: int = 0, comment: str = "") -> "ProgramBuilder":
+        """``mem[A[base] + disp] <- S[src]``."""
+        return self._op(Opcode.STORES, None, (src, base, disp), comment=comment)
+
+    def storea(self, src: Register, base: Register, disp: int = 0, comment: str = "") -> "ProgramBuilder":
+        """``mem[A[base] + disp] <- A[src]``."""
+        return self._op(Opcode.STOREA, None, (src, base, disp), comment=comment)
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def jaz(self, target: str, comment: str = "") -> "ProgramBuilder":
+        """Branch to *target* if A0 == 0."""
+        return self._branch(Opcode.JAZ, target, comment)
+
+    def jan(self, target: str, comment: str = "") -> "ProgramBuilder":
+        """Branch to *target* if A0 != 0."""
+        return self._branch(Opcode.JAN, target, comment)
+
+    def jap(self, target: str, comment: str = "") -> "ProgramBuilder":
+        """Branch to *target* if A0 >= 0."""
+        return self._branch(Opcode.JAP, target, comment)
+
+    def jam(self, target: str, comment: str = "") -> "ProgramBuilder":
+        """Branch to *target* if A0 < 0."""
+        return self._branch(Opcode.JAM, target, comment)
+
+    # ------------------------------------------------------------------
+    # vector unit (extension)
+    # ------------------------------------------------------------------
+    def vsetl(self, length: Union[Register, int], comment: str = "") -> "ProgramBuilder":
+        """``L0 <- length`` (elements per vector operation, <= 64)."""
+        from ..isa import VL
+
+        return self._op(Opcode.VSETL, VL, (length,), comment=comment)
+
+    def vload(self, dest: Register, base: Register, stride: Union[Register, int] = 1, comment: str = "") -> "ProgramBuilder":
+        """``V[dest][i] <- mem[A[base] + i*stride]`` for i < VL."""
+        return self._op(Opcode.VLOAD, dest, (base, stride), comment=comment)
+
+    def vstore(self, src: Register, base: Register, stride: Union[Register, int] = 1, comment: str = "") -> "ProgramBuilder":
+        """``mem[A[base] + i*stride] <- V[src][i]`` for i < VL."""
+        return self._op(Opcode.VSTORE, None, (src, base, stride), comment=comment)
+
+    def vvadd(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.VVADD, dest, (a, b), comment=comment)
+
+    def vvsub(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.VVSUB, dest, (a, b), comment=comment)
+
+    def vvmul(self, dest: Register, a: Register, b: Register, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.VVMUL, dest, (a, b), comment=comment)
+
+    def vsadd(self, dest: Register, scalar: Register, vector: Register, comment: str = "") -> "ProgramBuilder":
+        """``V[dest] <- S[scalar] + V[vector]`` elementwise."""
+        return self._op(Opcode.VSADD, dest, (scalar, vector), comment=comment)
+
+    def vsmul(self, dest: Register, scalar: Register, vector: Register, comment: str = "") -> "ProgramBuilder":
+        """``V[dest] <- S[scalar] * V[vector]`` elementwise."""
+        return self._op(Opcode.VSMUL, dest, (scalar, vector), comment=comment)
+
+    def jmp(self, target: str, comment: str = "") -> "ProgramBuilder":
+        """Unconditional branch to *target*."""
+        instr = Instruction(Opcode.JMP, None, (), target=target, comment=comment)
+        self._items.append(instr)
+        return self
+
+    def pass_(self, comment: str = "") -> "ProgramBuilder":
+        return self._op(Opcode.PASS, None, (), comment=comment)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _op(
+        self,
+        opcode: Opcode,
+        dest: Optional[Register],
+        srcs: tuple,
+        comment: str = "",
+    ) -> "ProgramBuilder":
+        self._items.append(Instruction(opcode, dest, srcs, comment=comment))
+        return self
+
+    def _branch(self, opcode: Opcode, target: str, comment: str) -> "ProgramBuilder":
+        instr = Instruction(opcode, None, (A0,), target=target, comment=comment)
+        self._items.append(instr)
+        return self

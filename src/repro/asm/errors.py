@@ -1,0 +1,24 @@
+"""Exception types for the assembler and the functional interpreter."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """Base class for all assembly-layer errors."""
+
+
+class AssemblerError(AsmError):
+    """Raised for structural program errors (bad labels, empty program)."""
+
+
+class ExecutionError(AsmError):
+    """Raised when the functional interpreter cannot execute an instruction.
+
+    Typical causes: reading an uninitialised register, an out-of-bounds
+    memory access, a logical operation on a non-integer scalar value, or
+    exceeding the interpreter step limit (runaway loop).
+    """
+
+
+class StepLimitExceeded(ExecutionError):
+    """The interpreter executed more instructions than its configured limit."""

@@ -1,0 +1,313 @@
+"""Functional interpreter: executes a program and observes the dynamic stream.
+
+This is the reproduction's substitute for the paper's trace-capture step
+(the modified CRAY-1 simulator of Pang & Smith).  The interpreter executes
+a :class:`~repro.asm.program.Program` on a :class:`~repro.asm.memory.Memory`
+image with full architectural semantics -- every branch is resolved on real
+data -- and reports each executed instruction to an observer callback.  The
+trace layer (:mod:`repro.trace.generator`) uses that callback to capture the
+dynamic instruction trace that drives every timing simulator; kernel tests
+use the final memory image to verify the kernels against NumPy references.
+
+The interpreter is deliberately strict: reading an uninitialised register,
+an out-of-range memory access, or a logical operation on a non-integer word
+raises :class:`~repro.asm.errors.ExecutionError` instead of silently
+producing garbage, which catches kernel-encoding bugs early.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from ..isa import (
+    VECTOR_LENGTH_MAX,
+    VL,
+    Instruction,
+    OpKind,
+    Opcode,
+    Operand,
+    Register,
+)
+from .errors import ExecutionError, StepLimitExceeded
+from .memory import Memory
+from .program import Program
+
+#: Value held in a register: address registers hold ints, scalar registers
+#: hold floats or (for logical masks and transmitted addresses) ints.
+Value = Union[int, float]
+
+#: Observer signature:
+#: (static index, instruction, branch-taken, effective address,
+#:  vector length).  ``taken`` is ``None`` for non-branches; ``address``
+#: is the effective memory address for scalar loads/stores; ``vl`` is the
+#: element count for vector instructions; each is ``None`` otherwise.
+Observer = Callable[
+    [int, Instruction, Optional[bool], Optional[int], Optional[int]], None
+]
+
+#: Default runaway-loop guard.
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a completed program execution.
+
+    Attributes:
+        steps: number of dynamic instructions executed.
+        memory: the final memory image (mutated in place from the input).
+        registers: final architectural register contents.
+        program: the executed program.
+    """
+
+    steps: int
+    memory: Memory
+    registers: Dict[Register, Value]
+    program: Program = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def run(
+    program: Program,
+    memory: Memory,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    observer: Optional[Observer] = None,
+) -> ExecutionResult:
+    """Execute *program* to completion on *memory*.
+
+    The program starts at instruction 0 and terminates when control flows
+    past the last instruction (including branches to a program-end label).
+
+    Args:
+        program: assembled program.
+        memory: data memory image; mutated in place.
+        max_steps: dynamic-instruction guard against runaway loops.
+        observer: optional per-instruction callback used for trace capture.
+
+    Returns:
+        The final architectural state.
+
+    Raises:
+        ExecutionError: on any architectural fault.
+        StepLimitExceeded: if *max_steps* is exceeded.
+    """
+    regs: Dict[Register, Value] = {}
+    pc = 0
+    steps = 0
+    end = len(program)
+
+    def reg(r: Register) -> Value:
+        try:
+            return regs[r]
+        except KeyError:
+            raise ExecutionError(
+                f"read of uninitialised register {r} at pc={pc} "
+                f"({program[pc]})"
+            ) from None
+
+    def operand(x: Operand) -> Value:
+        return reg(x) if isinstance(x, Register) else x
+
+    def int_operand(x: Operand, what: str) -> int:
+        value = operand(x)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ExecutionError(
+                f"{what} must be an integer, got {value!r} at pc={pc} "
+                f"({program[pc]})"
+            )
+        return value
+
+    while pc != end:
+        if not 0 <= pc < end:
+            raise ExecutionError(f"control flowed to invalid pc {pc}")
+        if steps >= max_steps:
+            raise StepLimitExceeded(
+                f"program {program.name!r} exceeded {max_steps} steps"
+            )
+
+        instr = program[pc]
+        op = instr.opcode
+        kind = op.kind
+        taken: Optional[bool] = None
+        address: Optional[int] = None
+        vl: Optional[int] = None
+        next_pc = pc + 1
+
+        if kind is OpKind.IMM_INT:
+            regs[instr.dest] = int(instr.srcs[0])
+        elif kind is OpKind.IMM_FLOAT:
+            value = instr.srcs[0]
+            regs[instr.dest] = value if isinstance(value, int) else float(value)
+        elif kind is OpKind.MOVE_INT:
+            regs[instr.dest] = int_operand(instr.srcs[0], "AMOVE source")
+        elif kind is OpKind.MOVE_FLOAT:
+            regs[instr.dest] = operand(instr.srcs[0])
+        elif kind is OpKind.XFER:
+            if op is Opcode.ATS:
+                regs[instr.dest] = int_operand(instr.srcs[0], "ATS source")
+            else:  # STA
+                regs[instr.dest] = int_operand(instr.srcs[0], "STA source")
+        elif kind is OpKind.CONVERT:
+            if op is Opcode.FIX:
+                value = operand(instr.srcs[0])
+                regs[instr.dest] = int(math.trunc(value))
+            else:  # FLOAT
+                regs[instr.dest] = float(int_operand(instr.srcs[0], "FLOAT source"))
+        elif kind is OpKind.ALU_INT:
+            a = int_operand(instr.srcs[0], f"{op.value} operand 0")
+            b = int_operand(instr.srcs[1], f"{op.value} operand 1")
+            regs[instr.dest] = _INT_ALU[op](a, b)
+        elif kind is OpKind.ALU_FLOAT:
+            regs[instr.dest] = _execute_scalar_alu(instr, operand, int_operand)
+        elif kind is OpKind.LOAD:
+            base = int_operand(instr.srcs[0], "load base")
+            address = base + int(instr.srcs[1])
+            word = memory.read(address)
+            if op is Opcode.LOADS:
+                regs[instr.dest] = word
+            else:  # LOADA
+                regs[instr.dest] = int(math.trunc(word))
+        elif kind is OpKind.STORE:
+            data = operand(instr.srcs[0])
+            base = int_operand(instr.srcs[1], "store base")
+            address = base + int(instr.srcs[2])
+            memory.write(address, float(data))
+        elif kind is OpKind.BRANCH_COND:
+            condition = int_operand(instr.srcs[0], "branch condition (A0)")
+            taken = _BRANCH_TESTS[op](condition)
+            if taken:
+                next_pc = program.target_index(instr)
+        elif kind is OpKind.BRANCH_UNCOND:
+            taken = True
+            next_pc = program.target_index(instr)
+        elif kind is OpKind.PASS:
+            pass
+        elif kind is OpKind.SETVL:
+            length = int_operand(instr.srcs[0], "vector length")
+            if not 1 <= length <= VECTOR_LENGTH_MAX:
+                raise ExecutionError(
+                    f"vector length {length} outside [1, {VECTOR_LENGTH_MAX}] "
+                    f"at pc={pc}"
+                )
+            regs[VL] = length
+        elif kind in (OpKind.VECTOR_LOAD, OpKind.VECTOR_STORE, OpKind.VECTOR_ALU):
+            vl = int_operand(VL, "vector length (set L0 with VSETL first)")
+            _execute_vector(instr, vl, regs, memory, operand, int_operand, pc)
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise ExecutionError(f"unhandled opcode kind {kind}")
+
+        if observer is not None:
+            observer(pc, instr, taken, address, vl)
+        steps += 1
+        pc = next_pc
+
+    return ExecutionResult(steps=steps, memory=memory, registers=regs, program=program)
+
+
+def _execute_vector(instr, vl, regs, memory, operand, int_operand, pc) -> None:
+    """Execute one vector-unit instruction over *vl* elements."""
+    op = instr.opcode
+    kind = op.kind
+
+    def vector_value(reg) -> list:
+        value = regs.get(reg)
+        if not isinstance(value, list):
+            raise ExecutionError(
+                f"read of uninitialised vector register {reg} at pc={pc}"
+            )
+        return value
+
+    def fresh_dest() -> list:
+        existing = regs.get(instr.dest)
+        if isinstance(existing, list):
+            return list(existing)
+        return [0.0] * VECTOR_LENGTH_MAX
+
+    if kind is OpKind.VECTOR_LOAD:
+        base = int_operand(instr.srcs[0], "vector load base")
+        stride = int_operand(instr.srcs[1], "vector load stride")
+        result = fresh_dest()
+        for i in range(vl):
+            result[i] = memory.read(base + i * stride)
+        regs[instr.dest] = result
+    elif kind is OpKind.VECTOR_STORE:
+        data = vector_value(instr.srcs[0])
+        base = int_operand(instr.srcs[1], "vector store base")
+        stride = int_operand(instr.srcs[2], "vector store stride")
+        for i in range(vl):
+            memory.write(base + i * stride, float(data[i]))
+    else:  # VECTOR_ALU
+        result = fresh_dest()
+        if op in (Opcode.VSADD, Opcode.VSMUL):
+            scalar = float(operand(instr.srcs[0]))
+            vector = vector_value(instr.srcs[1])
+            for i in range(vl):
+                if op is Opcode.VSADD:
+                    result[i] = scalar + float(vector[i])
+                else:
+                    result[i] = scalar * float(vector[i])
+        else:
+            left = vector_value(instr.srcs[0])
+            right = vector_value(instr.srcs[1])
+            for i in range(vl):
+                a, b = float(left[i]), float(right[i])
+                if op is Opcode.VVADD:
+                    result[i] = a + b
+                elif op is Opcode.VVSUB:
+                    result[i] = a - b
+                else:  # VVMUL
+                    result[i] = a * b
+        regs[instr.dest] = result
+
+
+def _execute_scalar_alu(instr, operand, int_operand) -> Value:
+    """Execute a scalar-unit (S-register) operation."""
+    op = instr.opcode
+    if op in (Opcode.SADD, Opcode.SSUB):
+        a = operand(instr.srcs[0])
+        b = operand(instr.srcs[1])
+        return a + b if op is Opcode.SADD else a - b
+    if op in (Opcode.SAND, Opcode.SOR, Opcode.SXOR):
+        a = int_operand(instr.srcs[0], f"{op.value} operand 0")
+        b = int_operand(instr.srcs[1], f"{op.value} operand 1")
+        if op is Opcode.SAND:
+            return a & b
+        if op is Opcode.SOR:
+            return a | b
+        return a ^ b
+    if op in (Opcode.SSHL, Opcode.SSHR):
+        a = int_operand(instr.srcs[0], f"{op.value} operand 0")
+        count = int_operand(instr.srcs[1], "shift count")
+        if count < 0:
+            raise ExecutionError(f"negative shift count {count}")
+        return a << count if op is Opcode.SSHL else a >> count
+    if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL):
+        a = float(operand(instr.srcs[0]))
+        b = float(operand(instr.srcs[1]))
+        if op is Opcode.FADD:
+            return a + b
+        if op is Opcode.FSUB:
+            return a - b
+        return a * b
+    if op is Opcode.FRECIP:
+        a = float(operand(instr.srcs[0]))
+        if a == 0.0:
+            raise ExecutionError("reciprocal of zero")
+        return 1.0 / a
+    raise ExecutionError(f"unhandled scalar opcode {op}")  # pragma: no cover
+
+
+_INT_ALU = {
+    Opcode.AADD: lambda a, b: a + b,
+    Opcode.ASUB: lambda a, b: a - b,
+    Opcode.AMUL: lambda a, b: a * b,
+}
+
+_BRANCH_TESTS = {
+    Opcode.JAZ: lambda a0: a0 == 0,
+    Opcode.JAN: lambda a0: a0 != 0,
+    Opcode.JAP: lambda a0: a0 >= 0,
+    Opcode.JAM: lambda a0: a0 < 0,
+}

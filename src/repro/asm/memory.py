@@ -1,0 +1,147 @@
+"""Word-addressed data memory for the functional interpreter.
+
+The base machine's memory is a flat array of 64-bit words.  We store every
+word as a ``float64``; integer values (loop counts, particle indices) are
+small enough to be represented exactly, and :data:`~repro.isa.Opcode.LOADA`
+truncates back to ``int`` on the way into an address register -- mirroring
+how the real machine reinterprets the same word.
+
+:class:`ArraySpec` describes a named, possibly multi-dimensional array laid
+out row-major at a fixed base address; kernels use it both to generate
+address arithmetic and to read results back out for verification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .errors import ExecutionError
+
+
+class Memory:
+    """A bounds-checked, word-addressed memory image."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self._words = np.zeros(size, dtype=np.float64)
+
+    @property
+    def size(self) -> int:
+        return len(self._words)
+
+    def _check(self, addr: int) -> None:
+        if not isinstance(addr, (int, np.integer)):
+            raise ExecutionError(f"memory address must be an int, got {addr!r}")
+        if not 0 <= addr < len(self._words):
+            raise ExecutionError(
+                f"memory address {addr} out of range [0, {len(self._words)})"
+            )
+
+    def read(self, addr: int) -> float:
+        """Read one word."""
+        self._check(addr)
+        return float(self._words[addr])
+
+    def write(self, addr: int, value: float) -> None:
+        """Write one word."""
+        self._check(addr)
+        if not math.isfinite(value):
+            raise ExecutionError(f"non-finite value {value!r} stored at {addr}")
+        self._words[addr] = value
+
+    def read_block(self, base: int, count: int) -> np.ndarray:
+        """Read *count* consecutive words starting at *base* (a copy)."""
+        self._check(base)
+        if count < 0 or base + count > len(self._words):
+            raise ExecutionError(
+                f"block read [{base}, {base + count}) out of range"
+            )
+        return self._words[base : base + count].copy()
+
+    def write_block(self, base: int, values: np.ndarray) -> None:
+        """Write consecutive words starting at *base*."""
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        self._check(base)
+        if base + len(flat) > len(self._words):
+            raise ExecutionError(
+                f"block write [{base}, {base + len(flat)}) out of range"
+            )
+        self._words[base : base + len(flat)] = flat
+
+    def copy(self) -> "Memory":
+        """Deep copy of the memory image."""
+        clone = Memory(self.size)
+        clone._words[:] = self._words
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return bool(np.array_equal(self._words, other._words))
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A named array laid out row-major in memory.
+
+    Attributes:
+        name: symbolic array name (e.g. ``"x"``).
+        base: address of element ``[0, ..., 0]``.
+        shape: array dimensions.
+    """
+
+    name: str
+    base: int
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ValueError(f"array {self.name!r} has bad shape {self.shape}")
+        if self.base < 0:
+            raise ValueError(f"array {self.name!r} has negative base")
+
+    @property
+    def size(self) -> int:
+        """Total number of words."""
+        return int(np.prod(self.shape))
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the array."""
+        return self.base + self.size
+
+    def addr(self, *indices: int) -> int:
+        """Address of element ``[*indices]`` (row-major, bounds-checked)."""
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"array {self.name!r} has {len(self.shape)} dimensions, "
+                f"got indices {indices}"
+            )
+        offset = 0
+        for index, dim in zip(indices, self.shape):
+            if not 0 <= index < dim:
+                raise ValueError(
+                    f"index {indices} out of bounds for {self.name!r} "
+                    f"shape {self.shape}"
+                )
+            offset = offset * dim + index
+        return self.base + offset
+
+    def read_from(self, memory: Memory) -> np.ndarray:
+        """The array's current contents, shaped."""
+        return memory.read_block(self.base, self.size).reshape(self.shape)
+
+    def write_to(self, memory: Memory, values: np.ndarray) -> None:
+        """Initialise the array's contents."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != self.shape:
+            raise ValueError(
+                f"array {self.name!r} expects shape {self.shape}, "
+                f"got {arr.shape}"
+            )
+        memory.write_block(self.base, arr)

@@ -1,0 +1,88 @@
+"""Assembled program representation.
+
+A :class:`Program` is an immutable sequence of instructions plus a label
+table mapping symbolic names to instruction indices.  Programs are produced
+by :mod:`repro.asm.assembler` (usually via the :mod:`repro.asm.builder`
+DSL) and consumed by the functional interpreter and, indirectly, by every
+timing simulator through the trace layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+from ..isa import Instruction
+from .errors import AssemblerError
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program.
+
+    Attributes:
+        name: human-readable program name (e.g. ``"livermore-05"``).
+        instructions: the static instruction sequence.
+        labels: mapping from label name to the index of the instruction the
+            label precedes.  A label may point one past the last instruction
+            (a common target for forward exits).
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instructions, tuple):
+            object.__setattr__(self, "instructions", tuple(self.instructions))
+        if not isinstance(self.labels, dict):
+            object.__setattr__(self, "labels", dict(self.labels))
+        if not self.instructions:
+            raise AssemblerError(f"program {self.name!r} has no instructions")
+        n = len(self.instructions)
+        for label, index in self.labels.items():
+            if not 0 <= index <= n:
+                raise AssemblerError(
+                    f"label {label!r} points at {index}, outside program "
+                    f"of length {n}"
+                )
+        for instr in self.instructions:
+            if instr.is_branch and instr.target not in self.labels:
+                raise AssemblerError(
+                    f"branch {instr} targets unknown label {instr.target!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def target_index(self, instr: Instruction) -> int:
+        """Instruction index a branch instruction jumps to."""
+        if not instr.is_branch or instr.target is None:
+            raise AssemblerError(f"{instr} is not a branch")
+        return self.labels[instr.target]
+
+    @property
+    def label_at(self) -> Dict[int, Tuple[str, ...]]:
+        """Inverse label table: instruction index -> labels at that index."""
+        inverse: Dict[int, Tuple[str, ...]] = {}
+        for label, index in sorted(self.labels.items()):
+            inverse[index] = inverse.get(index, ()) + (label,)
+        return inverse
+
+    def disassemble(self) -> str:
+        """Pretty-printed listing with labels, one instruction per line."""
+        label_at = self.label_at
+        lines = [f"; program {self.name} ({len(self)} instructions)"]
+        for index, instr in enumerate(self.instructions):
+            for label in label_at.get(index, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr}")
+        for label in label_at.get(len(self), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)

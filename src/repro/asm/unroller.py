@@ -1,0 +1,163 @@
+"""Loop unrolling (a compiler transformation the paper points at).
+
+Section 4 of the paper: "the pseudo-dataflow limit is also dependent on
+compiler optimizations.  For example, loop unrolling will in some cases
+shorten the critical path because some of the program's branches are
+removed."  This module makes that experiment possible: it unrolls a
+counted loop by a factor *k*, replicating the body (including its index
+updates and the counter decrement) and keeping a single loop-closing
+branch, which removes k-1 of every k branch resolutions from the dynamic
+stream.
+
+The transformation is sound -- it preserves semantics exactly -- provided
+
+* the loop body is a single basic block: one backward conditional branch
+  at the bottom, no other branches into or out of the body, and no other
+  label targets inside it;
+* the dynamic trip count is a multiple of *k* (checked at run time by the
+  usual kernel verification, and statically impossible to guarantee here;
+  :func:`unroll_loop` only checks the structural conditions).
+
+Combined with the list scheduler the unrolled body also exposes more
+independent work to an issue-blocking machine, just as a real unrolling
+compiler would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Instruction
+from .errors import AssemblerError
+from .program import Program
+
+
+class UnrollError(AssemblerError):
+    """The requested loop cannot be unrolled soundly."""
+
+
+@dataclass(frozen=True)
+class CountedLoop:
+    """A structurally unrollable loop.
+
+    Attributes:
+        label: the loop's target label.
+        start: index of the first body instruction.
+        end: index one past the loop-closing branch.
+    """
+
+    label: str
+    start: int
+    end: int
+
+    @property
+    def body_length(self) -> int:
+        """Body instructions excluding the closing branch."""
+        return self.end - 1 - self.start
+
+
+def find_counted_loops(program: Program) -> List[CountedLoop]:
+    """All structurally unrollable loops in *program*.
+
+    A candidate is a backward conditional branch whose target label starts
+    its own body, with no other branch or label crossing the body.
+    """
+    loops: List[CountedLoop] = []
+    label_positions = set(program.labels.values())
+
+    for index, instr in enumerate(program.instructions):
+        if not instr.is_conditional_branch or instr.target is None:
+            continue
+        start = program.labels[instr.target]
+        if start > index:
+            continue  # forward branch
+        end = index + 1
+        if not _body_is_clean(program, start, index, label_positions):
+            continue
+        loops.append(CountedLoop(label=instr.target, start=start, end=end))
+    return loops
+
+
+def _body_is_clean(program, start, branch_index, label_positions) -> bool:
+    """No other branches in the body, no labels strictly inside it."""
+    for i in range(start, branch_index):
+        if program.instructions[i].is_branch:
+            return False
+    for position in label_positions:
+        if start < position <= branch_index:
+            return False
+    # Nothing elsewhere may branch into the body's label-free interior --
+    # guaranteed because interior positions carry no labels at all.
+    return True
+
+
+def unroll_loop(program: Program, loop: CountedLoop, factor: int) -> Program:
+    """Unroll *loop* by *factor* (2 means "body appears twice per branch").
+
+    The body (including index updates and the counter decrement) is
+    replicated; only the final copy keeps the loop-closing branch.  The
+    caller is responsible for the trip count being a multiple of
+    *factor* -- otherwise the loop exits late, which kernel verification
+    will catch.
+    """
+    if factor < 1:
+        raise UnrollError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return program
+    if loop.body_length < 1:
+        raise UnrollError(f"loop {loop.label!r} has an empty body")
+
+    body = list(program.instructions[loop.start : loop.end - 1])
+    branch = program.instructions[loop.end - 1]
+
+    new_instructions: List[Instruction] = []
+    new_instructions.extend(program.instructions[: loop.start])
+    for _ in range(factor):
+        new_instructions.extend(body)
+    new_instructions.append(branch)
+    new_instructions.extend(program.instructions[loop.end :])
+
+    growth = (factor - 1) * len(body)
+    new_labels: Dict[str, int] = {}
+    for label, position in program.labels.items():
+        # Labels at or before the loop head keep their place; labels at or
+        # beyond the loop end shift by the inserted copies.  (_body_is_clean
+        # guarantees nothing points strictly inside.)
+        if position <= loop.start:
+            new_labels[label] = position
+        else:
+            new_labels[label] = position + growth
+
+    return Program(
+        name=f"{program.name}-unroll{factor}",
+        instructions=tuple(new_instructions),
+        labels=new_labels,
+    )
+
+
+def unroll_innermost(program: Program, factor: int) -> Program:
+    """Unroll every structurally unrollable loop of *program* by *factor*.
+
+    For the single-loop kernels this is "the" loop; for nested kernels
+    each clean innermost loop is unrolled independently.  Raises
+    :class:`UnrollError` if the program has no unrollable loop.
+    """
+    loops = find_counted_loops(program)
+    if not loops:
+        raise UnrollError(f"program {program.name!r} has no unrollable loop")
+    # Apply back-to-front so earlier indices stay valid.
+    result = program
+    for loop in sorted(loops, key=lambda l: -l.start):
+        # Recompute positions against the current program state.
+        current = [
+            l for l in find_counted_loops(result) if l.label == loop.label
+        ]
+        if not current:
+            continue
+        result = unroll_loop(result, current[0], factor)
+    return Program(
+        name=f"{program.name}-unroll{factor}",
+        instructions=result.instructions,
+        labels=result.labels,
+    )

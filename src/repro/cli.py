@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands cover the full workflow without writing Python:
+
+* ``tables``   -- regenerate any of the paper's tables (wraps the
+  harness runner, including ``--compare``);
+* ``simulate`` -- run one kernel through one machine organisation;
+* ``disasm``   -- print a kernel's assembly listing;
+* ``stats``    -- dynamic instruction-mix statistics;
+* ``limits``   -- pseudo-dataflow / resource / serial limits;
+* ``stalls``   -- stall attribution on an issue-blocking machine;
+* ``capture``  -- save a verified dynamic trace as JSON lines;
+* ``replay``   -- time a saved trace on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import stall_breakdown
+from .core import build_simulator, config_by_name
+from .core.registry import available_specs
+from .harness import runner as table_runner
+from .kernels import ALL_LOOPS, build_kernel
+from .limits import compute_limits
+from .trace import format_stats, read_trace, trace_stats, write_trace
+
+
+def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        type=int,
+        required=True,
+        choices=ALL_LOOPS,
+        help="Livermore loop number",
+    )
+    parser.add_argument("--n", type=int, default=None, help="problem size")
+    parser.add_argument(
+        "--unroll", type=int, default=1, help="unroll factor (default 1)"
+    )
+    parser.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="keep the naive source-order encoding",
+    )
+    parser.add_argument(
+        "--vector",
+        action="store_true",
+        help="use the vectorised encoding (loops 1, 7, 12)",
+    )
+    parser.add_argument(
+        "--explicit-addressing",
+        action="store_true",
+        help="expand folded displacements CFT-style (calibration variant)",
+    )
+
+
+def _kernel_from(args) -> "object":
+    if getattr(args, "vector", False):
+        from .kernels.vectorized import build_vectorized
+
+        return build_vectorized(args.kernel, args.n)
+    return build_kernel(
+        args.kernel,
+        args.n,
+        schedule=not args.no_schedule,
+        unroll=args.unroll,
+        explicit_addressing=getattr(args, "explicit_addressing", False),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Pleszkun & Sohi (1988), 'The Performance "
+            "Potential of Multiple Functional Unit Processors'."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument(
+        "table",
+        choices=sorted(table_runner.EXPERIMENTS) + ["section33", "all"],
+    )
+    tables.add_argument("--compare", action="store_true")
+
+    simulate = sub.add_parser("simulate", help="time one kernel on one machine")
+    _add_kernel_arguments(simulate)
+    simulate.add_argument(
+        "--machine",
+        default="cray",
+        help=f"machine spec ({available_specs()})",
+    )
+    simulate.add_argument("--config", default="M11BR5")
+
+    disasm = sub.add_parser("disasm", help="print a kernel's assembly")
+    _add_kernel_arguments(disasm)
+
+    stats = sub.add_parser("stats", help="dynamic instruction-mix statistics")
+    _add_kernel_arguments(stats)
+
+    limits = sub.add_parser("limits", help="dataflow/resource/serial limits")
+    _add_kernel_arguments(limits)
+    limits.add_argument("--config", default="M11BR5")
+
+    stalls = sub.add_parser("stalls", help="stall attribution")
+    _add_kernel_arguments(stalls)
+    stalls.add_argument("--config", default="M11BR5")
+
+    capture = sub.add_parser("capture", help="save a verified trace (JSONL)")
+    _add_kernel_arguments(capture)
+    capture.add_argument("--out", required=True, help="output path")
+
+    replay = sub.add_parser("replay", help="time a saved trace")
+    replay.add_argument("--trace", required=True, help="JSONL trace path")
+    replay.add_argument("--machine", default="cray")
+    replay.add_argument("--config", default="M11BR5")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "tables":
+        forwarded = [args.table] + (["--compare"] if args.compare else [])
+        return table_runner.main(forwarded)
+
+    if args.command == "replay":
+        trace = read_trace(args.trace)
+        simulator = build_simulator(args.machine)
+        result = simulator.simulate(trace, config_by_name(args.config))
+        print(result)
+        return 0
+
+    kernel = _kernel_from(args)
+
+    if args.command == "disasm":
+        print(kernel.program.disassemble())
+        return 0
+
+    trace = kernel.trace()
+
+    if args.command == "simulate":
+        simulator = build_simulator(args.machine)
+        result = simulator.simulate(trace, config_by_name(args.config))
+        print(result)
+        return 0
+
+    if args.command == "stats":
+        print(format_stats(trace_stats(trace)))
+        return 0
+
+    if args.command == "limits":
+        config = config_by_name(args.config)
+        pure = compute_limits(trace, config)
+        serial = compute_limits(trace, config, serial=True)
+        print(f"{trace.name} on {config.name}:")
+        print(f"  pseudo-dataflow limit  {pure.pseudo_dataflow_rate:.3f}")
+        print(f"  resource limit         {pure.resource_rate:.3f} "
+              f"(bottleneck: {pure.resource.bottleneck.value})")
+        print(f"  actual (binding) limit {pure.actual_rate:.3f}")
+        print(f"  serial (WAW) limit     {serial.actual_rate:.3f}")
+        return 0
+
+    if args.command == "stalls":
+        print(stall_breakdown(trace, config_by_name(args.config)).render())
+        return 0
+
+    if args.command == "capture":
+        write_trace(trace, args.out)
+        print(f"wrote {len(trace)} entries to {args.out}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

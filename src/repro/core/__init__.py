@@ -1,0 +1,56 @@
+"""Timing simulators for every instruction-issue method in the paper."""
+
+from .base import Simulator
+from .buses import BusKind, ResultBuses, SlotPerCycle
+from .cdc6600 import CDC6600Machine
+from .config import (
+    CONFIGS_BY_NAME,
+    M5BR2,
+    M5BR5,
+    M11BR2,
+    M11BR5,
+    STANDARD_CONFIGS,
+    MachineConfig,
+    config_by_name,
+)
+from .inorder_multi import InOrderMultiIssueMachine
+from .ooo_multi import OutOfOrderMultiIssueMachine
+from .registry import available_specs, build_simulator
+from .result import SimulationResult
+from .ruu import RUUMachine
+from .scoreboard import (
+    ScoreboardMachine,
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+from .simple import SimpleMachine
+from .tomasulo import TomasuloMachine
+
+__all__ = [
+    "BusKind",
+    "CDC6600Machine",
+    "CONFIGS_BY_NAME",
+    "InOrderMultiIssueMachine",
+    "M11BR2",
+    "M11BR5",
+    "M5BR2",
+    "M5BR5",
+    "MachineConfig",
+    "OutOfOrderMultiIssueMachine",
+    "RUUMachine",
+    "ResultBuses",
+    "ScoreboardMachine",
+    "SimpleMachine",
+    "SimulationResult",
+    "Simulator",
+    "SlotPerCycle",
+    "STANDARD_CONFIGS",
+    "TomasuloMachine",
+    "available_specs",
+    "build_simulator",
+    "config_by_name",
+    "cray_like_machine",
+    "non_segmented_machine",
+    "serial_memory_machine",
+]

@@ -1,0 +1,51 @@
+"""Simulator interface.
+
+All issue-method models share one contract: replay a dynamic trace under a
+:class:`~repro.core.config.MachineConfig` and report instructions, cycles
+and the issue rate.  Simulators are stateless between calls; all per-run
+state lives inside :meth:`Simulator.simulate`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..trace import Trace
+from .config import MachineConfig
+from .result import SimulationResult
+
+
+def require_scalar_trace(trace: Trace, machine_name: str) -> None:
+    """Reject traces containing vector instructions.
+
+    The multi-issue and dependency-resolution models reproduce the
+    paper's scalar experiments; the vector-unit extension is timed by the
+    single-issue machines (Simple and the scoreboard family), which model
+    vector element streaming and chaining.
+    """
+    for entry in trace.entries:
+        if entry.instruction.is_vector:
+            raise ValueError(
+                f"{machine_name} models scalar instruction issue only; "
+                "time vector code on SimpleMachine or a ScoreboardMachine"
+            )
+
+
+class Simulator(abc.ABC):
+    """A timing model for one instruction-issue method."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable simulator name used in results and tables."""
+
+    @abc.abstractmethod
+    def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        """Replay *trace* and return the timing outcome."""
+
+    def issue_rate(self, trace: Trace, config: MachineConfig) -> float:
+        """Convenience: just the issue rate."""
+        return self.simulate(trace, config).issue_rate
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,122 @@
+"""Result-bus interconnect models.
+
+Section 5.1 of the paper studies three interconnects between the
+functional-unit outputs and the register file:
+
+* **X-Bar** -- N buses in a crossbar: a result may be routed to any bus
+  with a free slot in its writeback cycle.
+* **N-Bus** -- N buses, but the result of the instruction issued by issue
+  unit *i* may use only bus *i*.
+* **1-Bus** -- a single result bus (one register write per cycle).
+
+A bus carries one result per cycle; an instruction issued at cycle ``c``
+with latency ``L`` needs a bus slot at cycle ``c + L``.  Branches and
+stores produce no register result and use no bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set
+
+
+class BusKind(enum.Enum):
+    """Which of the paper's three interconnect organisations to model."""
+
+    ONE_BUS = "1-Bus"
+    N_BUS = "N-Bus"
+    X_BAR = "X-Bar"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ResultBuses:
+    """Per-run reservation state for a result-bus interconnect.
+
+    Reservation is at single-cycle granularity: ``slot_free(i, c)`` asks
+    whether bus *i* can carry a result in cycle *c*.
+    """
+
+    def __init__(self, kind: BusKind, n_buses: int) -> None:
+        if n_buses < 1:
+            raise ValueError("need at least one result bus")
+        self.kind = kind
+        self.n_buses = 1 if kind is BusKind.ONE_BUS else n_buses
+        self._reserved: List[Set[int]] = [set() for _ in range(self.n_buses)]
+
+    # ------------------------------------------------------------------
+    def _bus_for_unit(self, issue_unit: int) -> int:
+        if self.kind is BusKind.ONE_BUS:
+            return 0
+        return issue_unit % self.n_buses
+
+    def can_reserve(self, issue_unit: int, cycle: int) -> bool:
+        """Can a result from *issue_unit* be written back in *cycle*?"""
+        if self.kind is BusKind.X_BAR:
+            return any(cycle not in bus for bus in self._reserved)
+        return cycle not in self._reserved[self._bus_for_unit(issue_unit)]
+
+    def reserve(self, issue_unit: int, cycle: int) -> int:
+        """Reserve a writeback slot; returns the bus index used.
+
+        Raises:
+            ValueError: if no slot is free (callers must check first).
+        """
+        if self.kind is BusKind.X_BAR:
+            for index, bus in enumerate(self._reserved):
+                if cycle not in bus:
+                    bus.add(cycle)
+                    return index
+            raise ValueError(f"no free bus in cycle {cycle}")
+        index = self._bus_for_unit(issue_unit)
+        bus = self._reserved[index]
+        if cycle in bus:
+            raise ValueError(f"bus {index} already reserved in cycle {cycle}")
+        bus.add(cycle)
+        return index
+
+    def earliest_slot(self, issue_unit: int, not_before: int) -> int:
+        """Earliest cycle >= *not_before* with a free slot for *issue_unit*."""
+        cycle = not_before
+        while not self.can_reserve(issue_unit, cycle):
+            cycle += 1
+        return cycle
+
+    def earliest_slot_for_result(
+        self, issue_unit: int, earliest_issue: int, latency: int
+    ) -> int:
+        """Earliest issue cycle whose writeback slot (issue + latency) is free."""
+        issue = earliest_issue
+        while not self.can_reserve(issue_unit, issue + latency):
+            issue += 1
+        return issue
+
+
+class SlotPerCycle:
+    """A width-limited per-cycle resource (e.g. an RUU port group).
+
+    Allows up to *width* uses per cycle; used for dispatch paths, return
+    paths and commit ports in the RUU machine.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self._used: Dict[int, int] = {}
+
+    def available(self, cycle: int) -> bool:
+        return self._used.get(cycle, 0) < self.width
+
+    def take(self, cycle: int) -> None:
+        used = self._used.get(cycle, 0)
+        if used >= self.width:
+            raise ValueError(f"cycle {cycle} already at width {self.width}")
+        self._used[cycle] = used + 1
+
+    def earliest(self, not_before: int) -> int:
+        cycle = not_before
+        while not self.available(cycle):
+            cycle += 1
+        return cycle

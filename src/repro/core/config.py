@@ -1,0 +1,80 @@
+"""Machine configurations: the paper's four memory/branch variants.
+
+Section 2: "Since the memory access time and the branch execution time are
+orthogonal parameters, for each issue method, four machine variations were
+studied: (1) M11BR5, (2) M11BR2, (3) M5BR5, and (4) M5BR2."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..isa import (
+    FAST_BRANCH_LATENCY,
+    FAST_MEMORY_LATENCY,
+    SLOW_BRANCH_LATENCY,
+    SLOW_MEMORY_LATENCY,
+    LatencyTable,
+)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Timing parameters shared by every issue method.
+
+    Attributes:
+        memory_latency: cycles from load issue to register availability
+            (11 = CRAY-1 memory, 5 = fast intermediate storage).
+        branch_latency: cycles from branch issue until the instruction
+            stream resumes (5 = CRAY-1S slow branch, 2 = fast branch).
+    """
+
+    memory_latency: int = SLOW_MEMORY_LATENCY
+    branch_latency: int = SLOW_BRANCH_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be >= 1")
+        if self.branch_latency < 1:
+            raise ValueError("branch latency must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """The paper's naming scheme, e.g. ``"M11BR5"``."""
+        return f"M{self.memory_latency}BR{self.branch_latency}"
+
+    @property
+    def latencies(self) -> LatencyTable:
+        """The full functional-unit latency table for this variant."""
+        return LatencyTable(
+            memory_latency=self.memory_latency,
+            branch_latency=self.branch_latency,
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The paper's four standard machine variants, in table order.
+M11BR5 = MachineConfig(SLOW_MEMORY_LATENCY, SLOW_BRANCH_LATENCY)
+M11BR2 = MachineConfig(SLOW_MEMORY_LATENCY, FAST_BRANCH_LATENCY)
+M5BR5 = MachineConfig(FAST_MEMORY_LATENCY, SLOW_BRANCH_LATENCY)
+M5BR2 = MachineConfig(FAST_MEMORY_LATENCY, FAST_BRANCH_LATENCY)
+
+STANDARD_CONFIGS: Tuple[MachineConfig, ...] = (M11BR5, M11BR2, M5BR5, M5BR2)
+
+CONFIGS_BY_NAME: Dict[str, MachineConfig] = {
+    config.name: config for config in STANDARD_CONFIGS
+}
+
+
+def config_by_name(name: str) -> MachineConfig:
+    """Look up a standard configuration (``"M11BR5"`` etc.) by name."""
+    try:
+        return CONFIGS_BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine configuration {name!r}; standard names are "
+            f"{sorted(CONFIGS_BY_NAME)}"
+        ) from None

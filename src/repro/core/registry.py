@@ -1,0 +1,117 @@
+"""A name-based registry of the paper's machine organisations.
+
+Convenient for examples and CLI-style exploration: build any simulator the
+paper studies from a short specification string, e.g. ``"simple"``,
+``"cray"``, ``"inorder:4:1bus"``, ``"ooo:8"``, ``"ruu:2:50:nbus"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import Simulator
+from .buses import BusKind
+from .cdc6600 import CDC6600Machine
+from .inorder_multi import InOrderMultiIssueMachine
+from .ooo_multi import OutOfOrderMultiIssueMachine
+from .ruu import RUUMachine
+from .scoreboard import (
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+from .simple import SimpleMachine
+from .tomasulo import TomasuloMachine
+
+_BUS_NAMES = {
+    "nbus": BusKind.N_BUS,
+    "1bus": BusKind.ONE_BUS,
+    "xbar": BusKind.X_BAR,
+}
+
+_FIXED: Dict[str, Callable[[], Simulator]] = {
+    "simple": SimpleMachine,
+    "serialmemory": serial_memory_machine,
+    "nonsegmented": non_segmented_machine,
+    "cray": cray_like_machine,
+    "cray-like": cray_like_machine,
+    "cdc6600": CDC6600Machine,
+    "tomasulo": TomasuloMachine,
+}
+
+
+def available_specs() -> str:
+    """Human-readable description of accepted specification strings."""
+    return (
+        "simple | serialmemory | nonsegmented | cray | cdc6600 | tomasulo | "
+        "inorder:<units>[:<bus>] | ooo:<units>[:<bus>] | "
+        "ruu:<units>:<ruu-size>[:<bus>] | "
+        "cache:<words>[:<hit>:<miss>] | banked:<banks>[:<busy>]"
+        "  (bus: nbus, 1bus, xbar)"
+    )
+
+
+def _parse_bus(token: str, default: BusKind) -> BusKind:
+    if not token:
+        return default
+    try:
+        return _BUS_NAMES[token.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown bus kind {token!r}; expected one of {sorted(_BUS_NAMES)}"
+        ) from None
+
+
+def build_simulator(spec: str) -> Simulator:
+    """Build a simulator from a specification string (see module docstring)."""
+    parts = [part.strip() for part in spec.lower().split(":")]
+    head = parts[0]
+
+    if head in _FIXED:
+        if len(parts) > 1:
+            raise ValueError(f"{head!r} takes no parameters")
+        return _FIXED[head]()
+
+    if head in ("inorder", "ooo"):
+        if len(parts) < 2:
+            raise ValueError(f"{head!r} needs an issue-unit count")
+        units = int(parts[1])
+        bus = _parse_bus(parts[2] if len(parts) > 2 else "", BusKind.N_BUS)
+        if head == "inorder":
+            return InOrderMultiIssueMachine(units, bus)
+        return OutOfOrderMultiIssueMachine(units, bus)
+
+    if head == "ruu":
+        if len(parts) < 3:
+            raise ValueError("'ruu' needs issue units and an RUU size")
+        units = int(parts[1])
+        size = int(parts[2])
+        bus = _parse_bus(parts[3] if len(parts) > 3 else "", BusKind.N_BUS)
+        return RUUMachine(units, size, bus)
+
+    if head == "cache":
+        from ..memsys import Cache, CachedMemory, MemoryAwareMachine
+
+        if len(parts) < 2:
+            raise ValueError("'cache' needs a size in words")
+        words = int(parts[1])
+        hit = int(parts[2]) if len(parts) > 2 else 5
+        miss = int(parts[3]) if len(parts) > 3 else 11
+        return MemoryAwareMachine(
+            lambda: CachedMemory(Cache(words), hit_latency=hit, miss_latency=miss)
+        )
+
+    if head == "banked":
+        from ..memsys import BankedMemory, ConflictMemory, MemoryAwareMachine
+
+        if len(parts) < 2:
+            raise ValueError("'banked' needs a bank count")
+        banks = int(parts[1])
+        busy = int(parts[2]) if len(parts) > 2 else 4
+        return MemoryAwareMachine(
+            lambda: ConflictMemory(BankedMemory(banks, busy), 11)
+        )
+
+    raise ValueError(
+        f"unknown simulator spec {spec!r}; accepted: {available_specs()}"
+    )

@@ -1,0 +1,54 @@
+"""Simulation results.
+
+Every timing simulator returns a :class:`SimulationResult`: the dynamic
+instruction count, the cycle count, and the issue rate -- the paper's one
+performance measure ("the number of instructions that are issued per clock
+cycle").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .config import MachineConfig
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of replaying one trace through one machine organisation.
+
+    Attributes:
+        trace_name: which benchmark trace was simulated.
+        simulator: human-readable simulator description
+            (e.g. ``"CRAY-like"``, ``"in-order x4 (1-Bus)"``).
+        config: the memory/branch variant.
+        instructions: dynamic instructions issued.
+        cycles: total cycles from first issue to last completion.
+        detail: optional per-simulator extras (stall breakdowns etc.).
+    """
+
+    trace_name: str
+    simulator: str
+    config: MachineConfig
+    instructions: int
+    cycles: int
+    detail: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("a simulation must issue at least one instruction")
+        if self.cycles < 1:
+            raise ValueError("a simulation must take at least one cycle")
+
+    @property
+    def issue_rate(self) -> float:
+        """Instructions issued per clock cycle -- the paper's metric."""
+        return self.instructions / self.cycles
+
+    def __str__(self) -> str:
+        return (
+            f"{self.trace_name} on {self.simulator} [{self.config.name}]: "
+            f"{self.instructions} instructions / {self.cycles} cycles = "
+            f"{self.issue_rate:.3f} per cycle"
+        )

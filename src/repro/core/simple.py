@@ -1,0 +1,52 @@
+"""The Simple (serial) machine of Section 3.1 -- the paper's lower bound.
+
+Two pipeline stages: (i) fetch/decode/issue and (ii) execute.  At most one
+instruction occupies each stage, and an instruction enters the execute
+stage only when its predecessor has left it.  Because instructions never
+overlap in execution, no dependence checking is needed at all.
+"""
+
+from __future__ import annotations
+
+from ..trace import Trace
+from .base import Simulator
+from .config import MachineConfig
+from .result import SimulationResult
+
+
+class SimpleMachine(Simulator):
+    """Strictly serial execution: one instruction in flight at a time."""
+
+    @property
+    def name(self) -> str:
+        return "Simple"
+
+    def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        latencies = config.latencies
+        # Cycle the previous instruction leaves the execute stage.
+        prev_complete = 0
+        # Cycle the current instruction occupies the issue stage.
+        issue = 0
+        last_complete = 0
+
+        for entry in trace:
+            latency = entry.instruction.latency(latencies)
+            if entry.instruction.is_vector:
+                # A vector operation streams its elements serially.
+                latency += entry.vector_length or 0
+            # The instruction sits in decode/issue (1 cycle minimum) and
+            # moves to execute once the predecessor is done.
+            exec_start = max(issue + 1, prev_complete)
+            complete = exec_start + latency
+            prev_complete = complete
+            last_complete = complete
+            # The issue stage frees when this instruction moves to execute.
+            issue = exec_start
+
+        return SimulationResult(
+            trace_name=trace.name,
+            simulator=self.name,
+            config=config,
+            instructions=len(trace),
+            cycles=last_complete,
+        )

@@ -1,0 +1,47 @@
+"""Evaluation harness: experiment definitions, aggregation and reporting."""
+
+from .aggregate import (
+    arithmetic_mean,
+    harmonic_mean,
+    hmean_by_key,
+    relative_error,
+)
+from .experiments import (
+    EXPERIMENTS,
+    class_traces,
+    per_loop_table,
+    section33,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .paper import PAPER_SECTION33, PAPER_TABLES
+from .tables import ResultTable, compare_tables
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_SECTION33",
+    "PAPER_TABLES",
+    "ResultTable",
+    "arithmetic_mean",
+    "class_traces",
+    "compare_tables",
+    "harmonic_mean",
+    "hmean_by_key",
+    "per_loop_table",
+    "relative_error",
+    "section33",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+]

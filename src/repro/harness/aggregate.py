@@ -1,0 +1,54 @@
+"""Result aggregation.
+
+The paper reports "the harmonic mean of the individual loop issue rates"
+for each loop class (citing Worlton's benchmark-averaging argument): rates
+are work/time quantities, so the harmonic mean is the rate of the
+concatenated workload with equal work per loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive rates.
+
+    Raises:
+        ValueError: on an empty sequence or non-positive values.
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"harmonic mean needs positive values, got {value}")
+        total += 1.0 / value
+        count += 1
+    if count == 0:
+        raise ValueError("harmonic mean of an empty sequence")
+    return count / total
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean, provided for comparison studies."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def hmean_by_key(
+    pairs: Iterable[Tuple[str, float]],
+) -> Dict[str, float]:
+    """Harmonic mean of values grouped by key."""
+    grouped: Dict[str, list] = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    return {key: harmonic_mean(vals) for key, vals in grouped.items()}
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative deviation of *measured* from *reference*."""
+    if reference == 0:
+        raise ValueError("reference value must be nonzero")
+    return (measured - reference) / reference

@@ -1,0 +1,360 @@
+"""Experiment definitions: one function per table in the paper.
+
+Each ``tableN()`` function rebuilds the paper's Table N from scratch:
+build the kernels, verify them against their references, capture traces,
+replay them through the relevant machine models, and aggregate per-class
+harmonic means.  Row and column labels match
+:mod:`repro.harness.paper` exactly, so results can be compared
+cell-by-cell against the paper's numbers.
+
+All functions accept ``sizes`` (a loop-number -> problem-size mapping) so
+tests can run scaled-down versions; experiments default to the standard
+sizes in :mod:`repro.kernels.sizes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.buses import BusKind
+from ..core.config import STANDARD_CONFIGS, MachineConfig
+from ..core.inorder_multi import InOrderMultiIssueMachine
+from ..core.ooo_multi import OutOfOrderMultiIssueMachine
+from ..core.ruu import RUUMachine
+from ..core.scoreboard import (
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+from ..core.simple import SimpleMachine
+from ..kernels import (
+    SCALAR_LOOPS,
+    VECTORIZABLE_LOOPS,
+    build_kernel,
+)
+from ..limits import compute_limits
+from ..trace import Trace
+from .aggregate import harmonic_mean
+from .paper import BUS_LABELS, CONFIG_NAMES, RUU_SIZES, RUU_UNITS
+from .tables import ResultTable
+
+Sizes = Optional[Mapping[int, int]]
+
+_CLASS_LOOPS = {
+    "scalar": SCALAR_LOOPS,
+    "vectorizable": VECTORIZABLE_LOOPS,
+}
+
+_BUS_KINDS = {"N-Bus": BusKind.N_BUS, "1-Bus": BusKind.ONE_BUS}
+
+
+def class_traces(class_label: str, sizes: Sizes = None) -> List[Trace]:
+    """Verified dynamic traces for every loop in a class."""
+    loops = _CLASS_LOOPS[class_label]
+    traces = []
+    for number in loops:
+        n = sizes.get(number) if sizes else None
+        instance = build_kernel(number, n)
+        traces.append(instance.trace() if n is None else instance.verify())
+    return traces
+
+
+def _class_hmean(simulator, traces, config: MachineConfig) -> float:
+    return harmonic_mean(
+        simulator.issue_rate(trace, config) for trace in traces
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+def table1(sizes: Sizes = None) -> ResultTable:
+    """Issue rates of the four basic single-issue machine organisations."""
+    simulators = (
+        ("Simple", SimpleMachine()),
+        ("SerialMemory", serial_memory_machine()),
+        ("NonSegmented", non_segmented_machine()),
+        ("CRAY-like", cray_like_machine()),
+    )
+    rows = []
+    for class_label in ("scalar", "vectorizable"):
+        traces = class_traces(class_label, sizes)
+        for sim_label, simulator in simulators:
+            values = {
+                config.name: _class_hmean(simulator, traces, config)
+                for config in STANDARD_CONFIGS
+            }
+            rows.append((f"{class_label}/{sim_label}", values))
+    return ResultTable(
+        table_id="table1",
+        title="Table 1: instruction issue rates for basic machine organisations",
+        columns=CONFIG_NAMES,
+        rows=tuple(rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+
+def table2(sizes: Sizes = None) -> ResultTable:
+    """Pseudo-dataflow, resource and actual limits ("Pure" and "Serial")."""
+    columns = ("pseudo-dataflow", "resource", "actual")
+    rows = []
+    for class_label in ("scalar", "vectorizable"):
+        traces = class_traces(class_label, sizes)
+        for serial in (False, True):
+            prefix = "Serial" if serial else "Pure"
+            for config in STANDARD_CONFIGS:
+                limits = [
+                    compute_limits(trace, config, serial=serial)
+                    for trace in traces
+                ]
+                values = {
+                    "pseudo-dataflow": harmonic_mean(
+                        l.pseudo_dataflow_rate for l in limits
+                    ),
+                    "resource": harmonic_mean(l.resource_rate for l in limits),
+                    "actual": harmonic_mean(l.actual_rate for l in limits),
+                }
+                rows.append((f"{class_label}/{prefix} {config.name}", values))
+    # Keep paper row order: scalar Pure, vectorizable Pure, scalar Serial,
+    # vectorizable Serial.
+    ordered = sorted(
+        rows,
+        key=lambda row: (
+            "Serial" in row[0],
+            not row[0].startswith("scalar"),
+        ),
+    )
+    return ResultTable(
+        table_id="table2",
+        title="Table 2: pseudo-dataflow and resource limits",
+        columns=columns,
+        rows=tuple(ordered),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 3-6 (multiple issue, sequential and out-of-order)
+# ----------------------------------------------------------------------
+
+def _multi_issue_table(
+    table_id: str,
+    title: str,
+    class_label: str,
+    machine_factory,
+    sizes: Sizes,
+    stations: Sequence[int],
+) -> ResultTable:
+    traces = class_traces(class_label, sizes)
+    columns = tuple(
+        f"{config.name} {bus}"
+        for config in STANDARD_CONFIGS
+        for bus in BUS_LABELS
+    )
+    rows = []
+    for n_stations in stations:
+        values: Dict[str, float] = {}
+        for config in STANDARD_CONFIGS:
+            for bus_label, bus_kind in _BUS_KINDS.items():
+                simulator = machine_factory(n_stations, bus_kind)
+                values[f"{config.name} {bus_label}"] = _class_hmean(
+                    simulator, traces, config
+                )
+        rows.append((str(n_stations), values))
+    return ResultTable(
+        table_id=table_id, title=title, columns=columns, rows=tuple(rows)
+    )
+
+
+def table3(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
+    """Multiple issue units, sequential issue, scalar code."""
+    return _multi_issue_table(
+        "table3",
+        "Table 3: multiple issue units, sequential issue of scalar code",
+        "scalar",
+        InOrderMultiIssueMachine,
+        sizes,
+        stations,
+    )
+
+
+def table4(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
+    """Multiple issue units, sequential issue, vectorizable code."""
+    return _multi_issue_table(
+        "table4",
+        "Table 4: multiple issue units, sequential issue for vectorizable code",
+        "vectorizable",
+        InOrderMultiIssueMachine,
+        sizes,
+        stations,
+    )
+
+
+def table5(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
+    """Multiple issue units, out-of-order issue, scalar code."""
+    return _multi_issue_table(
+        "table5",
+        "Table 5: multiple issue units, out-of-order issue for scalar code",
+        "scalar",
+        OutOfOrderMultiIssueMachine,
+        sizes,
+        stations,
+    )
+
+
+def table6(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
+    """Multiple issue units, out-of-order issue, vectorizable code."""
+    return _multi_issue_table(
+        "table6",
+        "Table 6: multiple issue units, out-of-order issue for vectorizable loops",
+        "vectorizable",
+        OutOfOrderMultiIssueMachine,
+        sizes,
+        stations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 7-8 (RUU dependency resolution)
+# ----------------------------------------------------------------------
+
+def _ruu_table(
+    table_id: str,
+    title: str,
+    class_label: str,
+    sizes: Sizes,
+    ruu_sizes: Sequence[int],
+    units: Sequence[int],
+) -> ResultTable:
+    traces = class_traces(class_label, sizes)
+    columns = tuple(f"x{u} {bus}" for u in units for bus in BUS_LABELS)
+    rows = []
+    for config in STANDARD_CONFIGS:
+        for size in ruu_sizes:
+            values: Dict[str, float] = {}
+            for u in units:
+                for bus_label, bus_kind in _BUS_KINDS.items():
+                    simulator = RUUMachine(u, size, bus_kind)
+                    values[f"x{u} {bus_label}"] = _class_hmean(
+                        simulator, traces, config
+                    )
+            rows.append((f"{config.name}/R{size}", values))
+    return ResultTable(
+        table_id=table_id, title=title, columns=columns, rows=tuple(rows)
+    )
+
+
+def table7(
+    sizes: Sizes = None,
+    ruu_sizes: Sequence[int] = RUU_SIZES,
+    units: Sequence[int] = RUU_UNITS,
+) -> ResultTable:
+    """Multiple issue units with RUU dependency resolution, scalar code."""
+    return _ruu_table(
+        "table7",
+        "Table 7: multiple issue units with dependency resolution; scalar code",
+        "scalar",
+        sizes,
+        ruu_sizes,
+        units,
+    )
+
+
+def table8(
+    sizes: Sizes = None,
+    ruu_sizes: Sequence[int] = RUU_SIZES,
+    units: Sequence[int] = RUU_UNITS,
+) -> ResultTable:
+    """Multiple issue units with RUU dependency resolution, vectorizable code."""
+    return _ruu_table(
+        "table8",
+        "Table 8: multiple issue units with dependency resolution; "
+        "vectorizable code",
+        "vectorizable",
+        sizes,
+        ruu_sizes,
+        units,
+    )
+
+
+# ----------------------------------------------------------------------
+# Appendix-style per-loop breakdown (not a paper table; full transparency)
+# ----------------------------------------------------------------------
+
+def per_loop_table(
+    sizes: Sizes = None,
+    config: Optional[MachineConfig] = None,
+) -> ResultTable:
+    """Per-loop issue rates across the main machine spectrum.
+
+    The paper reports only class harmonic means; this appendix table
+    shows each loop individually (with its dataflow limit), which is
+    where the class differences come from.
+    """
+    from ..core.config import M11BR5
+    from ..kernels import ALL_LOOPS, classify
+
+    config = config or M11BR5
+    simulators = (
+        ("Simple", SimpleMachine()),
+        ("CRAY-like", cray_like_machine()),
+        ("ooo x4", OutOfOrderMultiIssueMachine(4)),
+        ("RUU x4 R=50", RUUMachine(4, 50)),
+    )
+    columns = tuple(label for label, _ in simulators) + ("DF limit",)
+    rows = []
+    for number in ALL_LOOPS:
+        n = sizes.get(number) if sizes else None
+        instance = build_kernel(number, n)
+        trace = instance.trace() if n is None else instance.verify()
+        values = {
+            label: simulator.issue_rate(trace, config)
+            for label, simulator in simulators
+        }
+        values["DF limit"] = compute_limits(trace, config).actual_rate
+        label = f"loop {number:02d} ({classify(number).value[:6]})"
+        rows.append((label, values))
+    return ResultTable(
+        table_id="per-loop",
+        title=f"Per-loop issue rates on {config.name}",
+        columns=columns,
+        rows=tuple(rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 3.3 quote
+# ----------------------------------------------------------------------
+
+def section33(sizes: Sizes = None) -> Dict[str, float]:
+    """Single-issue dependency resolution on M11BR5 (Section 3.3 quote).
+
+    The paper: "the issue rate of an M11BR5 machine with a single issue
+    unit can be improved to about 0.72 instructions per cycle for scalar
+    code and 0.81 instructions for vectorizable code."
+    """
+    from ..core.config import M11BR5
+
+    simulator = RUUMachine(1, 50, BusKind.N_BUS)
+    return {
+        class_label: _class_hmean(
+            simulator, class_traces(class_label, sizes), M11BR5
+        )
+        for class_label in ("scalar", "vectorizable")
+    }
+
+
+#: Experiment id -> builder, for the runner and the benchmarks.
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+}

@@ -1,0 +1,63 @@
+"""CRAY-like base instruction set architecture.
+
+This package defines the architectural state (register files), the opcodes,
+the instruction representation and the functional-unit latency model shared
+by the assembler, interpreter, trace layer and every timing simulator.
+"""
+
+from .functional_units import (
+    FAST_BRANCH_LATENCY,
+    FAST_MEMORY_LATENCY,
+    FIXED_LATENCIES,
+    SLOW_BRANCH_LATENCY,
+    SLOW_MEMORY_LATENCY,
+    FunctionalUnit,
+    LatencyTable,
+    latency_table,
+)
+from .instructions import Instruction, InstructionError, Operand
+from .opcodes import OPCODE_INFO, OpKind, Opcode, OpcodeInfo
+from .registers import (
+    A,
+    A0,
+    B,
+    RegFile,
+    Register,
+    S,
+    T,
+    V,
+    VECTOR_LENGTH_MAX,
+    VL,
+    all_registers,
+    parse_register,
+)
+
+__all__ = [
+    "A",
+    "A0",
+    "B",
+    "FAST_BRANCH_LATENCY",
+    "FAST_MEMORY_LATENCY",
+    "FIXED_LATENCIES",
+    "FunctionalUnit",
+    "Instruction",
+    "InstructionError",
+    "LatencyTable",
+    "OPCODE_INFO",
+    "OpKind",
+    "Opcode",
+    "OpcodeInfo",
+    "Operand",
+    "RegFile",
+    "Register",
+    "S",
+    "SLOW_BRANCH_LATENCY",
+    "SLOW_MEMORY_LATENCY",
+    "T",
+    "V",
+    "VECTOR_LENGTH_MAX",
+    "VL",
+    "all_registers",
+    "latency_table",
+    "parse_register",
+]

@@ -1,0 +1,49 @@
+"""Instruction-width (parcel) accounting.
+
+The base architecture uses the CRAY-1S encoding granularity: a *parcel* is
+16 bits and every instruction is 1 or 2 parcels wide.  Parcel counts matter
+to the paper in one place -- the slow-branch model: a branch is a 2-parcel
+instruction, and fetching its second parcel from the instruction buffer is
+one of the delays folded into the 5-cycle slow branch.
+
+This module provides simple static accounting helpers over instruction
+sequences; they are used by trace statistics and by tests that check the
+encoding invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .instructions import Instruction
+
+#: Parcel width in bits.
+PARCEL_BITS = 16
+
+
+def total_parcels(instructions: Iterable[Instruction]) -> int:
+    """Total width of *instructions* in parcels."""
+    return sum(instr.parcels for instr in instructions)
+
+
+def total_bits(instructions: Iterable[Instruction]) -> int:
+    """Total width of *instructions* in bits."""
+    return total_parcels(instructions) * PARCEL_BITS
+
+
+def parcel_histogram(instructions: Iterable[Instruction]) -> Dict[int, int]:
+    """Histogram mapping parcel count (1 or 2) to number of instructions."""
+    histogram: Dict[int, int] = {}
+    for instr in instructions:
+        histogram[instr.parcels] = histogram.get(instr.parcels, 0) + 1
+    return histogram
+
+
+def mean_parcels(instructions: Iterable[Instruction]) -> float:
+    """Mean instruction width in parcels (0.0 for an empty sequence)."""
+    count = 0
+    parcels = 0
+    for instr in instructions:
+        count += 1
+        parcels += instr.parcels
+    return parcels / count if count else 0.0

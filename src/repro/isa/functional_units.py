@@ -1,0 +1,135 @@
+"""Functional units of the base machine and their timing characteristics.
+
+The paper's base architecture has "the same performance characteristics as
+the CRAY-1 functional units".  Two of the timings are explicit experimental
+parameters:
+
+* **memory access time** -- 11 cycles (slow memory, the CRAY-1 value) or
+  5 cycles (fast memory, modelling an intermediate cache or the
+  vector-register-as-cache trick described in Section 2 of the paper);
+* **branch execution time** -- 5 cycles (slow branch, the CRAY-1S behaviour:
+  issue plus a 4-cycle block) or 2 cycles (fast branch).
+
+All other unit latencies are fixed CRAY-1-style values collected in
+:func:`latency_table`.  A latency of ``L`` means the result of an operation
+issued in cycle ``t`` is available to a dependent instruction in cycle
+``t + L``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+class FunctionalUnit(enum.Enum):
+    """The hardware functional units of the CRAY-like base machine.
+
+    ``TRANSFER`` is a pseudo-unit for register-to-register moves and
+    immediate loads; on the real machine these are handled by dedicated
+    data paths and complete in one cycle, so modelling them as a
+    fully-pipelined single-cycle unit is exact.
+    """
+
+    ADDRESS_ADD = "address add"
+    ADDRESS_MULTIPLY = "address multiply"
+    SCALAR_ADD = "scalar add"
+    SCALAR_LOGICAL = "scalar logical"
+    SCALAR_SHIFT = "scalar shift"
+    POP_COUNT = "population count"
+    FP_ADD = "floating add"
+    FP_MULTIPLY = "floating multiply"
+    FP_RECIPROCAL = "reciprocal approximation"
+    MEMORY = "memory"
+    BRANCH = "branch"
+    TRANSFER = "register transfer"
+
+    @property
+    def is_memory(self) -> bool:
+        return self is FunctionalUnit.MEMORY
+
+    @property
+    def is_branch(self) -> bool:
+        return self is FunctionalUnit.BRANCH
+
+
+#: Fixed CRAY-1-style unit latencies, in clock cycles.  Memory and branch are
+#: experimental parameters and are therefore not present here.
+FIXED_LATENCIES: Mapping[FunctionalUnit, int] = {
+    FunctionalUnit.ADDRESS_ADD: 2,
+    FunctionalUnit.ADDRESS_MULTIPLY: 6,
+    FunctionalUnit.SCALAR_ADD: 3,
+    FunctionalUnit.SCALAR_LOGICAL: 1,
+    FunctionalUnit.SCALAR_SHIFT: 2,
+    FunctionalUnit.POP_COUNT: 3,
+    FunctionalUnit.FP_ADD: 6,
+    FunctionalUnit.FP_MULTIPLY: 7,
+    FunctionalUnit.FP_RECIPROCAL: 14,
+    FunctionalUnit.TRANSFER: 1,
+}
+
+#: The paper's two memory configurations.
+SLOW_MEMORY_LATENCY = 11
+FAST_MEMORY_LATENCY = 5
+
+#: The paper's two branch configurations.
+SLOW_BRANCH_LATENCY = 5
+FAST_BRANCH_LATENCY = 2
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Complete latency assignment for every functional unit.
+
+    Attributes:
+        memory_latency: cycles from load issue to destination availability.
+        branch_latency: cycles from branch issue until the instruction
+            stream continues (the paper's 5-cycle slow / 2-cycle fast branch).
+        overrides: optional per-unit overrides of the fixed CRAY-1 values,
+            for design-space exploration beyond the paper.
+    """
+
+    memory_latency: int = SLOW_MEMORY_LATENCY
+    branch_latency: int = SLOW_BRANCH_LATENCY
+    overrides: Mapping[FunctionalUnit, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be at least 1 cycle")
+        if self.branch_latency < 1:
+            raise ValueError("branch latency must be at least 1 cycle")
+        for unit, latency in self.overrides.items():
+            if unit in (FunctionalUnit.MEMORY, FunctionalUnit.BRANCH):
+                raise ValueError(
+                    f"{unit.value} latency is set by the dedicated field, "
+                    "not by an override"
+                )
+            if latency < 1:
+                raise ValueError(f"{unit.value} latency must be at least 1")
+
+    def latency(self, unit: FunctionalUnit) -> int:
+        """Latency of *unit* in clock cycles."""
+        if unit is FunctionalUnit.MEMORY:
+            return self.memory_latency
+        if unit is FunctionalUnit.BRANCH:
+            return self.branch_latency
+        if unit in self.overrides:
+            return self.overrides[unit]
+        return FIXED_LATENCIES[unit]
+
+    def as_dict(self) -> Dict[FunctionalUnit, int]:
+        """All unit latencies as a plain dictionary."""
+        return {unit: self.latency(unit) for unit in FunctionalUnit}
+
+
+def latency_table(
+    memory_latency: int = SLOW_MEMORY_LATENCY,
+    branch_latency: int = SLOW_BRANCH_LATENCY,
+) -> LatencyTable:
+    """Build the standard latency table for a machine variant.
+
+    ``latency_table(11, 5)`` corresponds to the paper's M11BR5 machine,
+    ``latency_table(5, 2)`` to M5BR2, and so on.
+    """
+    return LatencyTable(memory_latency=memory_latency, branch_latency=branch_latency)

@@ -1,0 +1,191 @@
+"""Architectural register files of the CRAY-like base machine.
+
+The base architecture follows the CRAY-1S register model used by the paper:
+
+* ``A0``-``A7``  -- address registers (24-bit integers on the real machine);
+  ``A0`` is special: it is the only register a conditional branch may test.
+* ``S0``-``S7``  -- scalar registers (64-bit floating point / logical words).
+* ``B0``-``B63`` -- backup address registers (single-cycle transfer to/from A).
+* ``T0``-``T63`` -- backup scalar registers (single-cycle transfer to/from S).
+
+Registers are small frozen value objects so they can be used as dictionary
+keys in scoreboards, dataflow schedulers and register-instance maps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class RegFile(enum.Enum):
+    """The architectural register files of the base machine.
+
+    ``A``/``S``/``B``/``T`` are the scalar files the paper's experiments
+    exercise.  ``V`` (eight 64-element vector registers) and ``L`` (the
+    vector-length register, a single entry named ``L0``) belong to the
+    vector-unit extension; the paper's machine has them ("8 64-element
+    vector registers") but runs everything scalar.
+    """
+
+    A = "A"
+    S = "S"
+    B = "B"
+    T = "T"
+    V = "V"
+    L = "L"
+
+    @property
+    def size(self) -> int:
+        """Number of registers in this file (CRAY-1S sizes)."""
+        return _FILE_SIZES[self]
+
+    @property
+    def is_primary(self) -> bool:
+        """True for the primary (A/S) files that feed the functional units."""
+        return self in (RegFile.A, RegFile.S)
+
+
+_FILE_SIZES = {
+    RegFile.A: 8,
+    RegFile.S: 8,
+    RegFile.B: 64,
+    RegFile.T: 64,
+    RegFile.V: 8,
+    RegFile.L: 1,
+}
+
+#: Elements per vector register (CRAY-1).
+VECTOR_LENGTH_MAX = 64
+
+
+@dataclass(frozen=True)
+class Register:
+    """A single architectural register, e.g. ``A3`` or ``S0``.
+
+    Instances are immutable, hashable and totally ordered (by file then
+    index), which makes them usable as keys in scoreboard tables and as
+    members of dependence sets.
+    """
+
+    file: RegFile
+    index: int
+
+    def _sort_key(self) -> Tuple[str, int]:
+        return (self.file.value, self.index)
+
+    def __lt__(self, other: "Register") -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Register") -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Register") -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Register") -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.index, int):
+            raise TypeError(f"register index must be an int, got {self.index!r}")
+        if not 0 <= self.index < self.file.size:
+            raise ValueError(
+                f"register index {self.index} out of range for file "
+                f"{self.file.value} (size {self.file.size})"
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.file.value}{self.index}"
+
+    @property
+    def name(self) -> str:
+        """Assembly-level name, e.g. ``"A0"``."""
+        return f"{self.file.value}{self.index}"
+
+    @property
+    def is_address(self) -> bool:
+        """True if this register holds integer (address) values."""
+        return self.file in (RegFile.A, RegFile.B)
+
+    @property
+    def is_scalar(self) -> bool:
+        """True if this register holds floating-point (scalar) values."""
+        return self.file in (RegFile.S, RegFile.T)
+
+    @property
+    def is_vector(self) -> bool:
+        """True if this is a vector data register."""
+        return self.file is RegFile.V
+
+
+def A(index: int) -> Register:
+    """Address register ``A<index>``."""
+    return Register(RegFile.A, index)
+
+
+def S(index: int) -> Register:
+    """Scalar register ``S<index>``."""
+    return Register(RegFile.S, index)
+
+
+def B(index: int) -> Register:
+    """Backup address register ``B<index>``."""
+    return Register(RegFile.B, index)
+
+
+def T(index: int) -> Register:
+    """Backup scalar register ``T<index>``."""
+    return Register(RegFile.T, index)
+
+
+def V(index: int) -> Register:
+    """Vector register ``V<index>`` (64 elements)."""
+    return Register(RegFile.V, index)
+
+
+#: The vector-length register (how many elements vector operations touch).
+VL = Register(RegFile.L, 0)
+
+#: The branch-condition register.  As in the paper's CRAY-like model, every
+#: conditional branch tests A0 ("the register upon which the branch decision
+#: is made").
+A0 = A(0)
+
+
+def all_registers() -> Tuple[Register, ...]:
+    """Every architectural register, in (file, index) order."""
+    regs = []
+    for file in RegFile:
+        for index in range(file.size):
+            regs.append(Register(file, index))
+    return tuple(regs)
+
+
+def parse_register(name: str) -> Register:
+    """Parse an assembly register name such as ``"A3"`` or ``"t17"``.
+
+    Raises:
+        ValueError: if the name does not denote a valid register.
+    """
+    text = name.strip()
+    if len(text) < 2:
+        raise ValueError(f"malformed register name: {name!r}")
+    try:
+        file = RegFile(text[0].upper())
+    except ValueError:
+        raise ValueError(f"unknown register file in {name!r}") from None
+    try:
+        index = int(text[1:])
+    except ValueError:
+        raise ValueError(f"malformed register index in {name!r}") from None
+    return Register(file, index)

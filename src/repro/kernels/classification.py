@@ -1,0 +1,45 @@
+"""The paper's scalar / vectorizable split of the 14 Livermore Loops.
+
+Section 2: "The programs were divided into the 5 scalar loops, loops 5, 6,
+11, 13 and 14 and the 9 vectorizable loops, loops 1, 2, 3, 4, 7, 8, 9, 10
+and 12."  All loops are *executed* as scalar code in every experiment; the
+classification only controls how results are grouped and averaged.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class LoopClass(enum.Enum):
+    """Workload class used to group results, exactly as in the paper."""
+
+    SCALAR = "scalar"
+    VECTORIZABLE = "vectorizable"
+
+
+#: Loops with little inherent parallelism (recurrences, PIC codes).
+SCALAR_LOOPS: Tuple[int, ...] = (5, 6, 11, 13, 14)
+
+#: Loops a vectorising compiler could vectorise (independent iterations).
+VECTORIZABLE_LOOPS: Tuple[int, ...] = (1, 2, 3, 4, 7, 8, 9, 10, 12)
+
+#: All 14 Lawrence Livermore Loops, in kernel order.
+ALL_LOOPS: Tuple[int, ...] = tuple(sorted(SCALAR_LOOPS + VECTORIZABLE_LOOPS))
+
+
+def classify(loop_number: int) -> LoopClass:
+    """The paper's class of Livermore loop *loop_number*."""
+    if loop_number in SCALAR_LOOPS:
+        return LoopClass.SCALAR
+    if loop_number in VECTORIZABLE_LOOPS:
+        return LoopClass.VECTORIZABLE
+    raise ValueError(f"no Livermore loop numbered {loop_number}")
+
+
+def loops_in_class(loop_class: LoopClass) -> Tuple[int, ...]:
+    """Loop numbers belonging to *loop_class*."""
+    if loop_class is LoopClass.SCALAR:
+        return SCALAR_LOOPS
+    return VECTORIZABLE_LOOPS

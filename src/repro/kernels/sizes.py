@@ -1,0 +1,62 @@
+"""Standard problem sizes for the benchmark kernels.
+
+The paper used the original Livermore loop lengths; for a pure-Python
+reproduction we scale each loop so its dynamic trace is a few thousand
+instructions -- long enough that the steady-state issue rate dominates the
+prologue/epilogue, short enough that full-table experiments stay fast.
+Issue rates converge quickly with trace length (each loop reaches steady
+state within a handful of iterations), so this scaling changes the
+harmonic-mean results by well under 1%; ``tests/test_kernel_sizes.py``
+checks the insensitivity explicitly.
+
+Two size sets are provided: ``DEFAULT_SIZES`` for experiments and
+``SMALL_SIZES`` for quick tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Problem size per loop used by the harness and benchmarks.
+DEFAULT_SIZES: Dict[int, int] = {
+    1: 128,
+    2: 128,
+    3: 256,
+    4: 250,
+    5: 200,
+    6: 24,
+    7: 80,
+    8: 30,
+    9: 64,
+    10: 64,
+    11: 256,
+    12: 256,
+    13: 48,
+    14: 48,
+}
+
+#: Much smaller sizes for fast unit tests.
+SMALL_SIZES: Dict[int, int] = {
+    1: 16,
+    2: 16,
+    3: 16,
+    4: 40,
+    5: 16,
+    6: 8,
+    7: 12,
+    8: 6,
+    9: 8,
+    10: 8,
+    11: 16,
+    12: 16,
+    13: 8,
+    14: 8,
+}
+
+
+def default_size(loop_number: int) -> int:
+    """Default problem size for *loop_number*."""
+    try:
+        return DEFAULT_SIZES[loop_number]
+    except KeyError:
+        raise ValueError(f"no Livermore loop numbered {loop_number}") from None

@@ -1,0 +1,14 @@
+"""Performance-limit analyses (the paper's Section 4 / Table 2)."""
+
+from .dataflow import DataflowSchedule, pseudo_dataflow_schedule
+from .report import LoopLimits, compute_limits
+from .resource import ResourceBound, resource_limit
+
+__all__ = [
+    "DataflowSchedule",
+    "LoopLimits",
+    "ResourceBound",
+    "compute_limits",
+    "pseudo_dataflow_schedule",
+    "resource_limit",
+]

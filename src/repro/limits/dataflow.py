@@ -1,0 +1,172 @@
+"""Pseudo-dataflow limits -- Section 4 of the paper.
+
+The pseudo-dataflow limit assumes the program is stored as a dataflow
+graph and every instruction executes the moment its operands exist, with
+*unlimited* resources.  The only sequencing constraints are:
+
+* true data dependences, with real functional-unit latencies, and
+* control: "different portions of the dynamic program graph, i.e.,
+  different loop iterations, cannot start until the appropriate branch
+  conditions have been resolved" -- no instruction may start before the
+  resolution of the latest branch that precedes it in the dynamic stream.
+
+The limit is ``instructions / critical-path length``.
+
+The *serial* variant (lower half of Table 2) adds the paper's
+WAW-in-order constraint: "instructions that write into the same register
+... finish, at best, at the same time" as the previous writer -- i.e.
+register writes complete in program order.  This models a machine with no
+result buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Register
+from ..trace import Trace
+from ..core.config import MachineConfig
+
+#: Critical-predecessor marker: the instruction was gated by nothing (it
+#: started at cycle 0).
+NO_PREDECESSOR = -1
+
+
+@dataclass(frozen=True)
+class DataflowSchedule:
+    """Outcome of a pseudo-dataflow scheduling pass.
+
+    Attributes:
+        trace_name: the scheduled benchmark.
+        instructions: dynamic instruction count.
+        makespan: critical-path length in cycles.
+        serial_waw: whether the WAW-in-order constraint was applied.
+        starts: per-instruction start cycles (only with ``detail=True``).
+        completes: per-instruction completion cycles (only with
+            ``detail=True``).
+        critical_pred: per-instruction index of the predecessor whose
+            result/resolution set its start time, or
+            :data:`NO_PREDECESSOR` (only with ``detail=True``).
+    """
+
+    trace_name: str
+    instructions: int
+    makespan: int
+    serial_waw: bool
+    starts: Optional[Tuple[int, ...]] = None
+    completes: Optional[Tuple[int, ...]] = None
+    critical_pred: Optional[Tuple[int, ...]] = None
+
+    @property
+    def issue_rate_limit(self) -> float:
+        """The dataflow bound on instructions per cycle."""
+        return self.instructions / self.makespan
+
+    def critical_path(self) -> Tuple[int, ...]:
+        """Instruction indices on the critical path, in execution order.
+
+        Requires the schedule to have been computed with ``detail=True``.
+        """
+        if self.completes is None or self.critical_pred is None:
+            raise ValueError(
+                "critical_path() needs a detailed schedule "
+                "(pseudo_dataflow_schedule(..., detail=True))"
+            )
+        tail = max(range(len(self.completes)), key=self.completes.__getitem__)
+        path: List[int] = []
+        current = tail
+        while current != NO_PREDECESSOR:
+            path.append(current)
+            current = self.critical_pred[current]
+        path.reverse()
+        return tuple(path)
+
+
+def pseudo_dataflow_schedule(
+    trace: Trace,
+    config: MachineConfig,
+    *,
+    serial_waw: bool = False,
+    detail: bool = False,
+) -> DataflowSchedule:
+    """Schedule *trace* at the dataflow limit and return its makespan.
+
+    Walks the dynamic stream once; because the stream is in program order,
+    the most recent write to a register is exactly the value instance a
+    later reader consumes, so a per-register ready time suffices.
+
+    With ``detail=True`` the per-instruction schedule and critical
+    predecessors are retained (used by :mod:`repro.analysis`).
+    """
+    latencies = config.latencies
+    branch_latency = config.branch_latency
+
+    # value_ready / write_done map registers to (cycle, producer index).
+    value_ready: Dict[Register, Tuple[int, int]] = {}
+    write_done: Dict[Register, Tuple[int, int]] = {}  # for serial_waw
+    control = 0  # resolution time of the latest preceding branch
+    control_pred = NO_PREDECESSOR
+    makespan = 1
+
+    starts: List[int] = []
+    completes: List[int] = []
+    critical_pred: List[int] = []
+
+    for index, entry in enumerate(trace):
+        instr = entry.instruction
+
+        start = control
+        pred = control_pred
+        for src in instr.source_registers:
+            ready, producer = value_ready.get(src, (0, NO_PREDECESSOR))
+            if ready > start:
+                start = ready
+                pred = producer
+
+        if instr.is_branch:
+            control = start + branch_latency
+            control_pred = index
+            complete = control
+        else:
+            complete = start + instr.latency(latencies)
+            if instr.is_vector and entry.vector_length:
+                # The full vector result exists only after all elements
+                # stream through (consumers may chain earlier, but the
+                # value-ready time below already models perfect chaining
+                # via the unchanged producer start).
+                complete += entry.vector_length
+            if instr.dest is not None:
+                if serial_waw:
+                    previous, prev_writer = write_done.get(
+                        instr.dest, (0, NO_PREDECESSOR)
+                    )
+                    if previous > complete:
+                        complete = previous  # "at best, at the same time"
+                        pred = prev_writer
+                    write_done[instr.dest] = (complete, index)
+                if instr.is_vector and entry.vector_length:
+                    # Perfect chaining: dependents consume elements as
+                    # they are produced, i.e. latency after the start.
+                    ready = start + instr.latency(latencies)
+                    value_ready[instr.dest] = (ready, index)
+                else:
+                    value_ready[instr.dest] = (complete, index)
+
+        if complete > makespan:
+            makespan = complete
+
+        if detail:
+            starts.append(start)
+            completes.append(complete)
+            critical_pred.append(pred)
+
+    return DataflowSchedule(
+        trace_name=trace.name,
+        instructions=len(trace),
+        makespan=makespan,
+        serial_waw=serial_waw,
+        starts=tuple(starts) if detail else None,
+        completes=tuple(completes) if detail else None,
+        critical_pred=tuple(critical_pred) if detail else None,
+    )

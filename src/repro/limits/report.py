@@ -1,0 +1,74 @@
+"""Combined performance limits: the paper's Table 2 quantities.
+
+For one trace and machine variant the paper reports three numbers:
+
+* the **pseudo-dataflow limit** (critical path, unlimited resources),
+* the **resource limit** (fully pipelined base-machine units),
+* the **actual limit** -- per loop, the *smaller* of the two bounds (both
+  are upper bounds, so the binding one is the minimum); class results are
+  harmonic means of per-loop actual limits, which is why the class actual
+  limit is not simply the min of the two class columns.
+
+The "Serial" rows repeat the computation with the WAW-in-order constraint
+(:func:`~repro.limits.dataflow.pseudo_dataflow_schedule` with
+``serial_waw=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace import Trace
+from ..core.config import MachineConfig
+from .dataflow import DataflowSchedule, pseudo_dataflow_schedule
+from .resource import ResourceBound, resource_limit
+
+
+@dataclass(frozen=True)
+class LoopLimits:
+    """All limit quantities for one trace under one machine variant.
+
+    Attributes:
+        trace_name: the analysed benchmark.
+        config: machine variant.
+        serial: whether the WAW-in-order (Serial) constraint was applied.
+        dataflow: the pseudo-dataflow schedule.
+        resource: the resource bound.
+    """
+
+    trace_name: str
+    config: MachineConfig
+    serial: bool
+    dataflow: DataflowSchedule
+    resource: ResourceBound
+
+    @property
+    def pseudo_dataflow_rate(self) -> float:
+        return self.dataflow.issue_rate_limit
+
+    @property
+    def resource_rate(self) -> float:
+        return self.resource.issue_rate_limit
+
+    @property
+    def actual_rate(self) -> float:
+        """The binding (smaller) bound for this loop."""
+        return min(self.pseudo_dataflow_rate, self.resource_rate)
+
+
+def compute_limits(
+    trace: Trace,
+    config: MachineConfig,
+    *,
+    serial: bool = False,
+) -> LoopLimits:
+    """Compute all Table 2 quantities for *trace* under *config*."""
+    dataflow = pseudo_dataflow_schedule(trace, config, serial_waw=serial)
+    resource = resource_limit(trace, config)
+    return LoopLimits(
+        trace_name=trace.name,
+        config=config,
+        serial=serial,
+        dataflow=dataflow,
+        resource=resource,
+    )

@@ -1,0 +1,78 @@
+"""Resource limits -- Section 4 of the paper.
+
+The pseudo-dataflow limit assumes unlimited hardware.  The resource limit
+re-imposes the base machine's functional units: each unit is fully
+pipelined (accepts one operation per cycle), so a program that uses unit
+*f* for ``count_f`` operations cannot finish before
+``count_f - 1 + latency_f`` cycles (the first operation starts at cycle 0;
+the paper phrases the same idea as "12 clock cycles plus the latency of
+the multiply unit").  The bound is
+
+    instructions / max over units of (count_f - 1 + latency_f).
+
+The ``-1`` keeps the bound *tight*: a single 1-cycle operation really can
+finish in one cycle, and the dominance property (no machine beats the
+limit) must hold even on one-instruction traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..isa import FunctionalUnit
+from ..trace import Trace
+from ..core.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class ResourceBound:
+    """Resource-limit computation for one trace and machine variant.
+
+    Attributes:
+        trace_name: the analysed benchmark.
+        instructions: dynamic instruction count.
+        unit_times: per-unit best-case busy spans (count + latency).
+        bottleneck: the unit with the largest span.
+    """
+
+    trace_name: str
+    instructions: int
+    unit_times: Mapping[FunctionalUnit, int]
+    bottleneck: FunctionalUnit
+
+    @property
+    def makespan(self) -> int:
+        return self.unit_times[self.bottleneck]
+
+    @property
+    def issue_rate_limit(self) -> float:
+        """The resource bound on instructions per cycle."""
+        return self.instructions / self.makespan
+
+
+def resource_limit(trace: Trace, config: MachineConfig) -> ResourceBound:
+    """Compute the resource limit of *trace* under *config*.
+
+    Every unit -- including the memory port and the branch mechanism -- is
+    modelled at a throughput of one operation per cycle.
+    """
+    latencies = config.latencies
+    counts: Counter = Counter()
+    for entry in trace:
+        # A vector operation occupies its unit for one cycle per element.
+        occupancy = entry.vector_length if entry.instruction.is_vector else 1
+        counts[entry.instruction.unit] += occupancy or 1
+
+    unit_times: Dict[FunctionalUnit, int] = {}
+    for unit, count in counts.items():
+        unit_times[unit] = count - 1 + latencies.latency(unit)
+
+    bottleneck = max(unit_times, key=lambda unit: unit_times[unit])
+    return ResourceBound(
+        trace_name=trace.name,
+        instructions=len(trace),
+        unit_times=unit_times,
+        bottleneck=bottleneck,
+    )

@@ -1,0 +1,27 @@
+"""Memory-system substrate: caches, banked memories and a memory-aware core.
+
+Quantifies the paper's memory idealisations: the flat 5-cycle "fast
+memory" (really a cache) and the conflict-free interleaved memory
+(really 16 banks with a 4-cycle busy time on the CRAY-1).
+"""
+
+from .banked import BankedMemory
+from .cache import Cache, CacheStats
+from .machine import (
+    CachedMemory,
+    ConflictMemory,
+    MemoryAwareMachine,
+    MemoryTiming,
+    UniformMemory,
+)
+
+__all__ = [
+    "BankedMemory",
+    "Cache",
+    "CacheStats",
+    "CachedMemory",
+    "ConflictMemory",
+    "MemoryAwareMachine",
+    "MemoryTiming",
+    "UniformMemory",
+]

@@ -1,0 +1,49 @@
+"""An interleaved, banked memory with bank-busy conflicts.
+
+The paper idealises the interleaved memory as accepting one request every
+cycle with no conflicts.  A real CRAY-1 memory is 16 banks with a 4-cycle
+bank-busy time: consecutive references to the *same* bank within the busy
+window stall.  This model restores that behaviour so the idealisation can
+be quantified: unit-stride streams see no conflicts, while strides that
+alias onto few banks (powers of two!) serialise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BankedMemory:
+    """Bank-conflict timing model.
+
+    Args:
+        n_banks: number of interleaved banks (word-granularity
+            interleave); CRAY-1 had 16.
+        bank_busy: cycles a bank is busy per access; CRAY-1 is 4.
+    """
+
+    def __init__(self, n_banks: int = 16, bank_busy: int = 4) -> None:
+        if n_banks < 1:
+            raise ValueError("need at least one bank")
+        if bank_busy < 1:
+            raise ValueError("bank busy time must be >= 1")
+        self.n_banks = n_banks
+        self.bank_busy = bank_busy
+        self._bank_free: List[int] = [0] * n_banks
+        self.conflict_cycles = 0
+
+    def bank_of(self, address: int) -> int:
+        return address % self.n_banks
+
+    def request(self, cycle: int, address: int) -> int:
+        """Present a request in *cycle*; returns the cycle it actually
+        starts (>= cycle; later iff the bank is still busy)."""
+        bank = self.bank_of(address)
+        start = max(cycle, self._bank_free[bank])
+        self.conflict_cycles += start - cycle
+        self._bank_free[bank] = start + self.bank_busy
+        return start
+
+    def reset(self) -> None:
+        self._bank_free = [0] * self.n_banks
+        self.conflict_cycles = 0

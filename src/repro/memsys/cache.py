@@ -1,0 +1,105 @@
+"""A set-associative data-cache simulator.
+
+The paper models its fast memory abstractly: "A fast memory results if
+some form of fast intermediate storage, i.e., some form of cache is
+provided", and then simply assigns every access 5 cycles.  This module
+builds the cache that idealisation stands in for, so the reproduction can
+ask *how good a cache has to be* before the M5 idealisation is earned:
+hits cost the fast latency, misses the slow one, and the hit ratio comes
+from the kernel's real address stream.
+
+The model is a classic word-addressed set-associative cache with LRU
+replacement and write-allocate stores (writes are not timed separately;
+the CRAY-style machine already prices every memory reference through the
+port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Word-addressed set-associative cache with LRU replacement.
+
+    Args:
+        total_words: capacity in 64-bit words (power of two).
+        line_words: words per cache line (power of two).
+        associativity: ways per set; ``total_words / line_words`` must be
+            divisible by it.
+    """
+
+    def __init__(
+        self,
+        total_words: int,
+        line_words: int = 4,
+        associativity: int = 2,
+    ) -> None:
+        if not _is_power_of_two(total_words):
+            raise ValueError(f"cache size must be a power of two: {total_words}")
+        if not _is_power_of_two(line_words):
+            raise ValueError(f"line size must be a power of two: {line_words}")
+        if line_words > total_words:
+            raise ValueError("line larger than the cache")
+        lines = total_words // line_words
+        if associativity < 1 or lines % associativity:
+            raise ValueError(
+                f"{lines} lines not divisible into {associativity}-way sets"
+            )
+        self.total_words = total_words
+        self.line_words = line_words
+        self.associativity = associativity
+        self.n_sets = lines // associativity
+        self.stats = CacheStats()
+        # Per set: list of tags in LRU order (index -1 = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+
+    def access(self, address: int) -> bool:
+        """Touch *address*; returns True on a hit.  Misses allocate."""
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        line = address // self.line_words
+        index = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.associativity:
+            ways.pop(0)  # evict LRU
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive lookup (no stats, no LRU update)."""
+        line = address // self.line_words
+        return line // self.n_sets in self._sets[line % self.n_sets]
+
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()

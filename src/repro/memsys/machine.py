@@ -1,0 +1,201 @@
+"""A CRAY-like machine with a real memory system behind the port.
+
+The paper's machines price every memory reference at a flat 11 (M11) or
+5 (M5) cycles.  :class:`MemoryAwareMachine` is the same single-issue,
+issue-blocking, fully pipelined core, except each load/store consults a
+memory timing model -- a cache (hit 5 / miss 11), a banked memory with
+bank-busy conflicts, or any user-supplied model -- using the effective
+addresses recorded in the trace.
+
+This answers the question the paper's M5 idealisation raises: how much of
+the M11 -> M5 gain does a *finite* cache actually deliver on these
+kernels, and how much do bank conflicts erode the perfect-interleaving
+assumption?
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Set, Tuple
+
+from ..core.base import Simulator, require_scalar_trace
+from ..core.config import MachineConfig
+from ..core.result import SimulationResult
+from ..isa import FunctionalUnit, Register
+from ..trace import Trace
+from .banked import BankedMemory
+from .cache import Cache
+
+
+class MemoryTiming(Protocol):
+    """Per-access memory timing: maps a request to (start, latency)."""
+
+    def access(
+        self, cycle: int, address: Optional[int], is_store: bool
+    ) -> Tuple[int, int]:
+        """Present a request at *cycle*; return (start cycle, latency)."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def description(self) -> str:
+        """Short label used in simulator names."""
+        ...  # pragma: no cover - protocol
+
+
+class UniformMemory:
+    """The paper's idealised memory: flat latency, no conflicts."""
+
+    def __init__(self, latency: int) -> None:
+        if latency < 1:
+            raise ValueError("latency must be >= 1")
+        self.latency = latency
+
+    def access(self, cycle, address, is_store):
+        return cycle, self.latency
+
+    @property
+    def description(self) -> str:
+        return f"uniform {self.latency}"
+
+
+class CachedMemory:
+    """Cache in front of the slow memory: hit fast, miss slow.
+
+    Args:
+        cache: the cache model (consumed/mutated during a run).
+        hit_latency: cycles for a hit (the paper's M5 value).
+        miss_latency: cycles for a miss (the paper's M11 value).
+        stores_allocate: whether stores allocate/touch cache lines.
+    """
+
+    def __init__(
+        self,
+        cache: Cache,
+        hit_latency: int = 5,
+        miss_latency: int = 11,
+        stores_allocate: bool = True,
+    ) -> None:
+        if hit_latency > miss_latency:
+            raise ValueError("hit latency must not exceed miss latency")
+        self.cache = cache
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.stores_allocate = stores_allocate
+
+    def access(self, cycle, address, is_store):
+        if address is None:
+            return cycle, self.miss_latency  # untagged: be conservative
+        if is_store and not self.stores_allocate:
+            return cycle, self.miss_latency
+        hit = self.cache.access(address)
+        return cycle, self.hit_latency if hit else self.miss_latency
+
+    @property
+    def description(self) -> str:
+        return (
+            f"cache {self.cache.total_words}w/"
+            f"{self.cache.line_words}l/{self.cache.associativity}a"
+        )
+
+
+class ConflictMemory:
+    """Banked memory: flat latency plus bank-busy conflict delays."""
+
+    def __init__(self, banks: BankedMemory, latency: int = 11) -> None:
+        self.banks = banks
+        self.latency = latency
+
+    def access(self, cycle, address, is_store):
+        if address is None:
+            return cycle, self.latency
+        return self.banks.request(cycle, address), self.latency
+
+    @property
+    def description(self) -> str:
+        return f"{self.banks.n_banks} banks busy {self.banks.bank_busy}"
+
+
+class MemoryAwareMachine(Simulator):
+    """Single-issue CRAY-like core with a pluggable memory system.
+
+    Args:
+        memory_factory: builds a fresh :class:`MemoryTiming` per run (the
+            models are stateful).
+
+    Non-memory timing is identical to
+    :func:`repro.core.scoreboard.cray_like_machine`; the machine's
+    ``config.memory_latency`` is ignored in favour of the model.
+    """
+
+    def __init__(self, memory_factory: Callable[[], MemoryTiming]) -> None:
+        self.memory_factory = memory_factory
+        self._label = f"CRAY-like + {memory_factory().description}"
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        require_scalar_trace(trace, self.name)
+        latencies = config.latencies
+        branch_latency = config.branch_latency
+        memory = self.memory_factory()
+
+        reg_ready: Dict[Register, int] = {}
+        fu_free: Dict[FunctionalUnit, int] = {}
+        bus_reserved: Set[int] = set()
+        next_issue = 0
+        last_event = 0
+
+        for entry in trace:
+            instr = entry.instruction
+            unit = instr.unit
+            is_memory = unit is FunctionalUnit.MEMORY
+
+            earliest = next_issue
+            for src in instr.source_registers:
+                ready = reg_ready.get(src, 0)
+                if ready > earliest:
+                    earliest = ready
+            if instr.dest is not None:
+                ready = reg_ready.get(instr.dest, 0)
+                if ready > earliest:
+                    earliest = ready
+            unit_free = fu_free.get(unit, 0)
+            if unit_free > earliest:
+                earliest = unit_free
+
+            if is_memory:
+                # The reference blocks at issue until its bank/port is
+                # ready, then takes its model-determined latency.
+                issue, latency = memory.access(
+                    earliest, entry.address, instr.is_store
+                )
+            else:
+                issue = earliest
+                latency = instr.latency(latencies)
+
+            if instr.dest is not None:
+                while issue + latency in bus_reserved:
+                    issue += 1
+            complete = issue + latency
+            if instr.dest is not None:
+                bus_reserved.add(complete)
+                reg_ready[instr.dest] = complete
+            fu_free[unit] = issue + 1
+
+            if instr.is_branch:
+                next_issue = issue + branch_latency
+                complete = issue + branch_latency
+            else:
+                next_issue = issue + 1
+
+            if complete > last_event:
+                last_event = complete
+
+        return SimulationResult(
+            trace_name=trace.name,
+            simulator=self.name,
+            config=config,
+            instructions=len(trace),
+            cycles=max(last_event, 1),
+        )

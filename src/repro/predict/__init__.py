@@ -1,0 +1,19 @@
+"""Branch predictors for the speculation extension (see module docs)."""
+
+from .predictors import (
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    BranchPredictor,
+    OneBitPredictor,
+    PredictorStats,
+    TwoBitPredictor,
+)
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BackwardTakenPredictor",
+    "BranchPredictor",
+    "OneBitPredictor",
+    "PredictorStats",
+    "TwoBitPredictor",
+]

@@ -1,0 +1,136 @@
+"""Branch predictors (an extension the paper explicitly sets aside).
+
+Section 2: "we have not incorporated any type of guessing or branch
+prediction to get an early start on the execution of a likely branch
+target path."  Since branch resolution is a first-order limit in every
+table (the BR5/BR2 columns), the natural follow-up is to quantify what
+prediction recovers.  This module provides the classic predictor family;
+:class:`repro.core.ruu.RUUMachine` accepts any of them.
+
+Predictors are indexed by the *static* instruction index of the branch,
+so a loop-closing branch trains its own entry, exactly like a (collision
+free) branch history table.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class PredictorStats:
+    """Running prediction-accuracy counters."""
+
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def predictions(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class BranchPredictor(abc.ABC):
+    """Predicts conditional-branch outcomes by static branch identity."""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short label used in simulator names and tables."""
+
+    @abc.abstractmethod
+    def predict(self, static_index: int, backward: bool) -> bool:
+        """Predicted outcome for the branch at *static_index*.
+
+        Args:
+            static_index: the branch's static program position.
+            backward: True if the branch targets an earlier instruction
+                (available to static heuristics).
+        """
+
+    def update(self, static_index: int, taken: bool) -> None:
+        """Train on the actual outcome (default: stateless)."""
+
+    def record(self, prediction: bool, taken: bool) -> bool:
+        """Score a prediction; returns True if it was correct."""
+        correct = prediction == taken
+        if correct:
+            self.stats.correct += 1
+        else:
+            self.stats.incorrect += 1
+        return correct
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict every branch taken."""
+
+    @property
+    def name(self) -> str:
+        return "always-taken"
+
+    def predict(self, static_index: int, backward: bool) -> bool:
+        return True
+
+
+class BackwardTakenPredictor(BranchPredictor):
+    """Static BTFN: backward taken, forward not taken."""
+
+    @property
+    def name(self) -> str:
+        return "backward-taken"
+
+    def predict(self, static_index: int, backward: bool) -> bool:
+        return backward
+
+
+class OneBitPredictor(BranchPredictor):
+    """Last-outcome predictor (one bit per static branch)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Dict[int, bool] = {}
+
+    @property
+    def name(self) -> str:
+        return "1-bit"
+
+    def predict(self, static_index: int, backward: bool) -> bool:
+        return self._last.get(static_index, backward)
+
+    def update(self, static_index: int, taken: bool) -> None:
+        self._last[static_index] = taken
+
+
+class TwoBitPredictor(BranchPredictor):
+    """Saturating 2-bit counter per static branch (initialised weakly
+    toward the BTFN heuristic)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter: Dict[int, int] = {}  # 0..3; >=2 predicts taken
+
+    @property
+    def name(self) -> str:
+        return "2-bit"
+
+    def predict(self, static_index: int, backward: bool) -> bool:
+        default = 2 if backward else 1
+        return self._counter.get(static_index, default) >= 2
+
+    def update(self, static_index: int, taken: bool) -> None:
+        # Default initialisation mirrors predict()'s BTFN lean; we cannot
+        # know `backward` here, so start from the weak middle.
+        counter = self._counter.get(static_index, 1 if not taken else 2)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counter[static_index] = counter

@@ -1,0 +1,22 @@
+"""Dynamic trace layer: capture, representation, statistics and caching."""
+
+from .cache import GLOBAL_TRACE_CACHE, TraceCache
+from .generator import generate_trace, generate_trace_with_result
+from .io import TraceFormatError, read_trace, write_trace
+from .record import Trace, TraceEntry
+from .stats import TraceStats, format_stats, trace_stats
+
+__all__ = [
+    "GLOBAL_TRACE_CACHE",
+    "Trace",
+    "TraceCache",
+    "TraceEntry",
+    "TraceFormatError",
+    "TraceStats",
+    "format_stats",
+    "generate_trace",
+    "generate_trace_with_result",
+    "read_trace",
+    "trace_stats",
+    "write_trace",
+]

@@ -1,0 +1,76 @@
+"""Trace capture: run a program functionally and record the dynamic stream.
+
+This module plays the role of the paper's trace-generation step ("instruction
+traces were generated for each of the benchmark programs and then used to
+drive the simulations").  Because the functional interpreter resolves every
+branch on real data, the captured stream is exactly the dynamic instruction
+sequence of the program for its input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..asm import DEFAULT_MAX_STEPS, ExecutionResult, Memory, Program
+from ..asm import run as run_program
+from ..isa import Instruction
+from .record import Trace, TraceEntry
+
+
+def generate_trace(
+    program: Program,
+    memory: Memory,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    name: Optional[str] = None,
+) -> Trace:
+    """Execute *program* on *memory* and capture its dynamic trace.
+
+    The memory image is mutated (the program really runs); callers that
+    need the pre-run image should pass ``memory.copy()``.
+    """
+    trace, _ = generate_trace_with_result(
+        program, memory, max_steps=max_steps, name=name
+    )
+    return trace
+
+
+def generate_trace_with_result(
+    program: Program,
+    memory: Memory,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    name: Optional[str] = None,
+):
+    """Like :func:`generate_trace` but also returns the execution result.
+
+    Returns:
+        ``(trace, result)`` where *result* is the interpreter's
+        :class:`~repro.asm.ExecutionResult` (final memory and registers),
+        used by kernel verification.
+    """
+    entries: List[TraceEntry] = []
+
+    def observe(
+        static_index: int, instruction: Instruction, taken, address, vl
+    ) -> None:
+        backward = None
+        if instruction.is_branch:
+            backward = program.target_index(instruction) <= static_index
+        entries.append(
+            TraceEntry(
+                seq=len(entries),
+                static_index=static_index,
+                instruction=instruction,
+                taken=taken,
+                address=address,
+                backward=backward,
+                vector_length=vl,
+            )
+        )
+
+    result: ExecutionResult = run_program(
+        program, memory, max_steps=max_steps, observer=observe
+    )
+    trace = Trace(name=name or program.name, entries=tuple(entries))
+    return trace, result

@@ -1,0 +1,124 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` is the dynamic instruction stream of one benchmark run:
+the sequence of instructions a single-stream machine would fetch, with
+every branch already resolved.  Traces are what the paper's methodology
+feeds to each timing model -- the *same* trace is replayed through every
+issue mechanism, so differences in issue rate come only from the machine
+organisation, never from the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..isa import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction.
+
+    Attributes:
+        seq: position in the dynamic stream (0-based).
+        static_index: index of the instruction in the static program.
+        instruction: the instruction itself.
+        taken: branch outcome (``True``/``False``) or ``None`` for
+            non-branch instructions.
+        address: effective memory address for loads/stores, ``None``
+            otherwise.  Used by the memory-system models
+            (:mod:`repro.memsys`); the paper-level machines ignore it.
+        backward: for branches, whether the target precedes the branch in
+            the static program (used by static branch-prediction
+            heuristics); ``None`` when unknown or for non-branches.
+        vector_length: element count of a vector instruction (the L0
+            value when it executed); ``None`` for scalar instructions.
+    """
+
+    seq: int
+    static_index: int
+    instruction: Instruction
+    taken: Optional[bool] = None
+    address: Optional[int] = None
+    backward: Optional[bool] = None
+    vector_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.instruction.is_branch and self.taken is None:
+            raise ValueError(
+                f"branch at seq={self.seq} must record its outcome"
+            )
+        if not self.instruction.is_branch and self.taken is not None:
+            raise ValueError(
+                f"non-branch at seq={self.seq} cannot record an outcome"
+            )
+        is_memory = self.instruction.is_load or self.instruction.is_store
+        if self.address is not None and not is_memory:
+            raise ValueError(
+                f"non-memory instruction at seq={self.seq} cannot carry "
+                "an address"
+            )
+        if self.backward is not None and not self.instruction.is_branch:
+            raise ValueError(
+                f"non-branch at seq={self.seq} cannot carry direction info"
+            )
+        if self.instruction.is_vector and (
+            self.vector_length is None or self.vector_length < 1
+        ):
+            raise ValueError(
+                f"vector instruction at seq={self.seq} must record its "
+                "vector length"
+            )
+        if self.vector_length is not None and not self.instruction.is_vector:
+            raise ValueError(
+                f"scalar instruction at seq={self.seq} cannot carry a "
+                "vector length"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instruction.is_branch
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete dynamic instruction trace for one benchmark.
+
+    Attributes:
+        name: benchmark name (e.g. ``"livermore-05"``).
+        entries: the dynamic instruction stream, in execution order.
+    """
+
+    name: str
+    entries: Tuple[TraceEntry, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.entries, tuple):
+            object.__setattr__(self, "entries", tuple(self.entries))
+        if not self.entries:
+            raise ValueError(f"trace {self.name!r} is empty")
+        for expected_seq, entry in enumerate(self.entries):
+            if entry.seq != expected_seq:
+                raise ValueError(
+                    f"trace {self.name!r}: entry {expected_seq} has "
+                    f"seq={entry.seq}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self.entries[index]
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """Just the instruction stream, without trace metadata."""
+        return tuple(entry.instruction for entry in self.entries)
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.is_branch)

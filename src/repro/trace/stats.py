@@ -1,0 +1,140 @@
+"""Descriptive statistics over dynamic traces.
+
+These are used by the resource-limit computation (functional-unit usage
+counts), by tests (instruction-mix sanity checks on the kernels) and by the
+harness reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..isa import FunctionalUnit, OpKind, Opcode
+from ..isa.encoding import mean_parcels
+from .record import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Instruction-mix summary of one dynamic trace.
+
+    Attributes:
+        name: trace name.
+        total: dynamic instruction count.
+        by_unit: dynamic instruction count per functional unit.
+        by_opcode: dynamic instruction count per opcode.
+        by_kind: dynamic instruction count per opcode kind.
+        branches: dynamic branch count.
+        taken_branches: dynamic taken-branch count.
+        loads: dynamic load count.
+        stores: dynamic store count.
+        mean_parcels: average instruction width in parcels.
+        vector_instructions: dynamic vector-instruction count (extension).
+        vector_elements: total elements processed by vector instructions.
+    """
+
+    name: str
+    total: int
+    by_unit: Mapping[FunctionalUnit, int]
+    by_opcode: Mapping[Opcode, int]
+    by_kind: Mapping[OpKind, int]
+    branches: int
+    taken_branches: int
+    loads: int
+    stores: int
+    mean_parcels: float
+    vector_instructions: int = 0
+    vector_elements: int = 0
+
+    @property
+    def memory_references(self) -> int:
+        """Dynamic loads + stores."""
+        return self.loads + self.stores
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of dynamic instructions that reference memory."""
+        return self.memory_references / self.total if self.total else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+    def unit_fraction(self, unit: FunctionalUnit) -> float:
+        """Fraction of dynamic instructions executed by *unit*."""
+        return self.by_unit.get(unit, 0) / self.total if self.total else 0.0
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute the instruction-mix summary of *trace*."""
+    by_unit: Counter = Counter()
+    by_opcode: Counter = Counter()
+    by_kind: Counter = Counter()
+    branches = 0
+    taken = 0
+    loads = 0
+    stores = 0
+    vector_instructions = 0
+    vector_elements = 0
+
+    for entry in trace:
+        instr = entry.instruction
+        by_unit[instr.unit] += 1
+        by_opcode[instr.opcode] += 1
+        by_kind[instr.kind] += 1
+        if instr.is_branch:
+            branches += 1
+            if entry.taken:
+                taken += 1
+        elif instr.is_load:
+            loads += 1
+        elif instr.is_store:
+            stores += 1
+        if instr.is_vector:
+            vector_instructions += 1
+            vector_elements += entry.vector_length or 0
+            if instr.kind is OpKind.VECTOR_LOAD:
+                loads += 1
+            elif instr.kind is OpKind.VECTOR_STORE:
+                stores += 1
+
+    return TraceStats(
+        name=trace.name,
+        total=len(trace),
+        by_unit=dict(by_unit),
+        by_opcode=dict(by_opcode),
+        by_kind=dict(by_kind),
+        branches=branches,
+        taken_branches=taken,
+        loads=loads,
+        stores=stores,
+        mean_parcels=mean_parcels(trace.instructions),
+        vector_instructions=vector_instructions,
+        vector_elements=vector_elements,
+    )
+
+
+def format_stats(stats: TraceStats) -> str:
+    """Human-readable rendering of a :class:`TraceStats`."""
+    lines = [
+        f"trace {stats.name}: {stats.total} dynamic instructions",
+        f"  memory references: {stats.memory_references} "
+        f"({stats.memory_fraction:.1%})",
+        f"  branches: {stats.branches} ({stats.branch_fraction:.1%}), "
+        f"{stats.taken_branches} taken",
+        f"  mean width: {stats.mean_parcels:.2f} parcels",
+        "  per functional unit:",
+    ]
+    if stats.vector_instructions:
+        lines.insert(
+            -1,
+            f"  vector: {stats.vector_instructions} instructions / "
+            f"{stats.vector_elements} elements",
+        )
+    for unit, count in sorted(
+        stats.by_unit.items(), key=lambda item: -item[1]
+    ):
+        lines.append(f"    {unit.value:<26} {count:>8} ({count / stats.total:.1%})")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Workload generators beyond the Livermore loops."""
+
+from .synthetic import SyntheticSpec, build_synthetic, synthetic_memory, synthetic_trace
+
+__all__ = [
+    "SyntheticSpec",
+    "build_synthetic",
+    "synthetic_memory",
+    "synthetic_trace",
+]

@@ -1,0 +1,81 @@
+"""Test helpers: hand-built traces with exact, analysable timing."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.isa import A, A0, Instruction, Opcode, S
+from repro.trace import Trace, TraceEntry
+
+#: Shorthand item: an Instruction, or (Instruction, taken) for branches.
+TraceItem = Union[Instruction, Tuple[Instruction, bool]]
+
+
+def make_trace(items: Sequence[TraceItem], name: str = "hand") -> Trace:
+    """Build a dynamic trace directly from instructions.
+
+    Branches must be given as ``(instruction, taken)`` pairs.
+    """
+    entries = []
+    for seq, item in enumerate(items):
+        if isinstance(item, tuple):
+            instr, taken = item
+        else:
+            instr, taken = item, None
+        entries.append(
+            TraceEntry(
+                seq=seq,
+                static_index=seq,
+                instruction=instr,
+                taken=taken,
+            )
+        )
+    return Trace(name=name, entries=tuple(entries))
+
+
+# -- compact instruction constructors ----------------------------------
+
+def ai(d: int, value: int = 0) -> Instruction:
+    return Instruction(Opcode.AI, A(d), (value,))
+
+
+def si(d: int, value: float = 0.0) -> Instruction:
+    return Instruction(Opcode.SI, S(d), (value,))
+
+
+def aadd(d: int, a: int, imm: int = 1) -> Instruction:
+    """AADD A[d] <- A[a] + immediate."""
+    return Instruction(Opcode.AADD, A(d), (A(a), imm))
+
+
+def aadd_r(d: int, a: int, b: int) -> Instruction:
+    """AADD A[d] <- A[a] + A[b]."""
+    return Instruction(Opcode.AADD, A(d), (A(a), A(b)))
+
+
+def fadd(d: int, a: int, b: int) -> Instruction:
+    return Instruction(Opcode.FADD, S(d), (S(a), S(b)))
+
+
+def fmul(d: int, a: int, b: int) -> Instruction:
+    return Instruction(Opcode.FMUL, S(d), (S(a), S(b)))
+
+
+def frecip(d: int, a: int) -> Instruction:
+    return Instruction(Opcode.FRECIP, S(d), (S(a),))
+
+
+def loads(d: int, base: int, disp: int = 0) -> Instruction:
+    return Instruction(Opcode.LOADS, S(d), (A(base), disp))
+
+
+def stores(src: int, base: int, disp: int = 0) -> Instruction:
+    return Instruction(Opcode.STORES, None, (S(src), A(base), disp))
+
+
+def jan(taken: bool) -> Tuple[Instruction, bool]:
+    return (Instruction(Opcode.JAN, None, (A0,), target="L"), taken)
+
+
+def jmp(taken: bool = True) -> Tuple[Instruction, bool]:
+    return (Instruction(Opcode.JMP, None, (), target="L"), taken)

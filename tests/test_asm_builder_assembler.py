@@ -1,0 +1,142 @@
+"""Unit tests for the builder DSL, assembler and program representation."""
+
+import pytest
+
+from repro.asm import AssemblerError, Program, ProgramBuilder, assemble
+from repro.isa import A, A0, Instruction, Opcode, S
+
+
+def tiny_loop() -> ProgramBuilder:
+    b = ProgramBuilder("tiny")
+    b.ai(A(0), 3)
+    b.label("loop")
+    b.asub(A(0), A(0), 1)
+    b.jan("loop")
+    return b
+
+
+class TestBuilder:
+    def test_builds_program(self):
+        program = tiny_loop().build()
+        assert isinstance(program, Program)
+        assert len(program) == 3
+        assert program.labels == {"loop": 1}
+
+    def test_len_counts_instructions_not_labels(self):
+        builder = tiny_loop()
+        assert len(builder) == 3
+
+    def test_method_chaining(self):
+        b = ProgramBuilder("chain")
+        result = b.ai(A(1), 0).si(S(1), 1.0).pass_()
+        assert result is b
+        assert len(b.build()) == 3
+
+    def test_every_opcode_has_a_builder_method(self):
+        """The DSL must cover the whole instruction set."""
+        b = ProgramBuilder("coverage")
+        b.ai(A(1), 1)
+        b.si(S(1), 1.0)
+        b.amove(A(2), A(1))
+        b.smove(S(2), S(1))
+        b.ats(S(3), A(1))
+        b.sta(A(3), S(3))
+        b.fix(A(4), S(1))
+        b.float_(S(4), A(4))
+        b.aadd(A(5), A(1), 1)
+        b.asub(A(5), A(5), A(1))
+        b.amul(A(5), A(5), 2)
+        b.sadd(S(5), S(1), S(2))
+        b.ssub(S(5), S(5), S(1))
+        b.sand(S(5), S(5), S(1))
+        b.sor(S(5), S(5), S(1))
+        b.sxor(S(5), S(5), S(1))
+        b.sshl(S(5), S(5), 1)
+        b.sshr(S(5), S(5), 1)
+        b.fadd(S(6), S(1), S(2))
+        b.fsub(S(6), S(6), S(1))
+        b.fmul(S(6), S(6), S(2))
+        b.frecip(S(7), S(1))
+        b.loads(S(0), A(1), 10)
+        b.loada(A(6), A(1), 10)
+        b.stores(S(0), A(1), 11)
+        b.storea(A(6), A(1), 12)
+        from repro.isa import V
+
+        b.vsetl(4)
+        b.vload(V(1), A(1), 1)
+        b.vvadd(V(2), V(1), V(1))
+        b.vvsub(V(3), V(2), V(1))
+        b.vvmul(V(4), V(2), V(3))
+        b.vsadd(V(5), S(1), V(4))
+        b.vsmul(V(6), S(1), V(5))
+        b.vstore(V(6), A(1), 1)
+        b.pass_()
+        b.label("end_tests")
+        b.jaz("end_tests")
+        b.jan("end_tests")
+        b.jap("end_tests")
+        b.jam("end_tests")
+        b.jmp("end_tests")
+        program = b.build()
+        used = {i.opcode for i in program}
+        assert used == set(Opcode)
+
+
+class TestAssembler:
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("p", ["x", Instruction(Opcode.PASS, None, ()), "x"])
+
+    def test_empty_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("p", ["  ", Instruction(Opcode.PASS, None, ())])
+
+    def test_undefined_branch_target(self):
+        b = ProgramBuilder("bad")
+        b.jmp("nowhere")
+        with pytest.raises(AssemblerError, match="nowhere"):
+            b.build()
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblerError):
+            ProgramBuilder("empty").build()
+
+    def test_bad_item_type(self):
+        with pytest.raises(AssemblerError):
+            assemble("p", [42])
+
+    def test_trailing_label_is_program_end(self):
+        b = ProgramBuilder("exit")
+        b.jmp("end")
+        b.label("end")
+        program = b.build()
+        assert program.labels["end"] == 1
+        assert program.target_index(program[0]) == 1
+
+
+class TestProgram:
+    def test_iteration_and_indexing(self):
+        program = tiny_loop().build()
+        assert list(program)[0] is program[0]
+
+    def test_target_index(self):
+        program = tiny_loop().build()
+        branch = program[2]
+        assert program.target_index(branch) == 1
+
+    def test_target_index_rejects_non_branch(self):
+        program = tiny_loop().build()
+        with pytest.raises(AssemblerError):
+            program.target_index(program[0])
+
+    def test_disassemble_lists_labels_and_instructions(self):
+        text = tiny_loop().build().disassemble()
+        assert "loop:" in text
+        assert "JAN" in text
+        assert "AI" in text
+
+    def test_label_out_of_range_rejected(self):
+        instr = Instruction(Opcode.PASS, None, ())
+        with pytest.raises(AssemblerError):
+            Program(name="p", instructions=(instr,), labels={"x": 5})

@@ -1,0 +1,268 @@
+"""Unit tests for the functional interpreter: full architectural semantics."""
+
+import pytest
+
+from repro.asm import (
+    ExecutionError,
+    Memory,
+    ProgramBuilder,
+    StepLimitExceeded,
+    run,
+)
+from repro.isa import A, B, S, T
+
+
+def execute(build, memory_size=64, max_steps=10_000):
+    """Build a program with *build*, run it, return (result, memory)."""
+    b = ProgramBuilder("test")
+    build(b)
+    memory = Memory(memory_size)
+    result = run(b.build(), memory, max_steps=max_steps)
+    return result, memory
+
+
+class TestImmediatesAndMoves:
+    def test_ai_si(self):
+        result, _ = execute(lambda b: b.ai(A(1), 42).si(S(1), 2.5))
+        assert result.registers[A(1)] == 42
+        assert result.registers[S(1)] == 2.5
+
+    def test_si_keeps_ints_exact(self):
+        result, _ = execute(lambda b: b.si(S(1), 63))
+        assert result.registers[S(1)] == 63
+        assert isinstance(result.registers[S(1)], int)
+
+    def test_moves(self):
+        def body(b):
+            b.ai(A(1), 7).amove(A(2), A(1)).amove(B(3), A(2)).amove(A(4), B(3))
+            b.si(S(1), 1.5).smove(T(2), S(1)).smove(S(3), T(2))
+
+        result, _ = execute(body)
+        assert result.registers[A(4)] == 7
+        assert result.registers[S(3)] == 1.5
+
+    def test_xfer(self):
+        result, _ = execute(lambda b: b.ai(A(1), 9).ats(S(1), A(1)).sta(A(2), S(1)))
+        assert result.registers[S(1)] == 9
+        assert result.registers[A(2)] == 9
+
+    def test_fix_truncates_toward_zero(self):
+        def body(b):
+            b.si(S(1), 2.9).fix(A(1), S(1))
+            b.si(S(2), -2.9).fix(A(2), S(2))
+
+        result, _ = execute(body)
+        assert result.registers[A(1)] == 2
+        assert result.registers[A(2)] == -2
+
+    def test_float(self):
+        result, _ = execute(lambda b: b.ai(A(1), 5).float_(S(1), A(1)))
+        assert result.registers[S(1)] == 5.0
+        assert isinstance(result.registers[S(1)], float)
+
+
+class TestArithmetic:
+    def test_address_ops(self):
+        def body(b):
+            b.ai(A(1), 6).ai(A(2), 4)
+            b.aadd(A(3), A(1), A(2))
+            b.asub(A(4), A(1), A(2))
+            b.amul(A(5), A(1), A(2))
+            b.aadd(A(6), A(1), 100)
+
+        result, _ = execute(body)
+        assert result.registers[A(3)] == 10
+        assert result.registers[A(4)] == 2
+        assert result.registers[A(5)] == 24
+        assert result.registers[A(6)] == 106
+
+    def test_fp_ops(self):
+        def body(b):
+            b.si(S(1), 3.0).si(S(2), 4.0)
+            b.fadd(S(3), S(1), S(2))
+            b.fsub(S(4), S(1), S(2))
+            b.fmul(S(5), S(1), S(2))
+            b.frecip(S(6), S(2))
+
+        result, _ = execute(body)
+        assert result.registers[S(3)] == 7.0
+        assert result.registers[S(4)] == -1.0
+        assert result.registers[S(5)] == 12.0
+        assert result.registers[S(6)] == 0.25
+
+    def test_scalar_integer_ops(self):
+        def body(b):
+            b.si(S(1), 0b1100).si(S(2), 0b1010)
+            b.sand(S(3), S(1), S(2))
+            b.sor(S(4), S(1), S(2))
+            b.sxor(S(5), S(1), S(2))
+            b.sshl(S(6), S(1), 2)
+            b.sshr(S(7), S(1), 2)
+
+        result, _ = execute(body)
+        assert result.registers[S(3)] == 0b1000
+        assert result.registers[S(4)] == 0b1110
+        assert result.registers[S(5)] == 0b0110
+        assert result.registers[S(6)] == 0b110000
+        assert result.registers[S(7)] == 0b11
+
+    def test_sadd_works_on_numbers(self):
+        result, _ = execute(lambda b: b.si(S(1), 2.5).si(S(2), 1).sadd(S(3), S(1), S(2)))
+        assert result.registers[S(3)] == 3.5
+
+    def test_logical_on_float_rejected(self):
+        with pytest.raises(ExecutionError):
+            execute(lambda b: b.si(S(1), 1.5).si(S(2), 3).sand(S(3), S(1), S(2)))
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ExecutionError):
+            execute(lambda b: b.si(S(1), 4).sshr(S(2), S(1), -1))
+
+    def test_reciprocal_of_zero(self):
+        with pytest.raises(ExecutionError):
+            execute(lambda b: b.si(S(1), 0.0).frecip(S(2), S(1)))
+
+
+class TestMemoryOps:
+    def test_load_store_scalar(self):
+        def body(b):
+            b.ai(A(1), 5).si(S(1), 9.5)
+            b.stores(S(1), A(1), 10)  # mem[15] = 9.5
+            b.loads(S(2), A(1), 10)
+
+        result, memory = execute(body)
+        assert memory.read(15) == 9.5
+        assert result.registers[S(2)] == 9.5
+
+    def test_load_store_address(self):
+        def body(b):
+            b.ai(A(1), 0).ai(A(2), 37)
+            b.storea(A(2), A(1), 3)
+            b.loada(A(3), A(1), 3)
+
+        result, memory = execute(body)
+        assert memory.read(3) == 37.0
+        assert result.registers[A(3)] == 37
+
+    def test_loada_truncates(self):
+        def body(b):
+            b.ai(A(1), 0).si(S(1), 6.7)
+            b.stores(S(1), A(1), 0)
+            b.loada(A(2), A(1), 0)
+
+        result, _ = execute(body)
+        assert result.registers[A(2)] == 6
+
+    def test_negative_displacement(self):
+        def body(b):
+            b.ai(A(1), 10).si(S(1), 1.0)
+            b.stores(S(1), A(1), -3)  # mem[7]
+
+        _, memory = execute(body)
+        assert memory.read(7) == 1.0
+
+    def test_out_of_range_access(self):
+        with pytest.raises(ExecutionError):
+            execute(lambda b: b.ai(A(1), 1000).loads(S(1), A(1), 0))
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        def body(b):
+            b.ai(A(0), 4).ai(A(1), 0)
+            b.label("loop")
+            b.aadd(A(1), A(1), 2)
+            b.asub(A(0), A(0), 1)
+            b.jan("loop")
+
+        result, _ = execute(body)
+        assert result.registers[A(1)] == 8
+        assert result.steps == 2 + 3 * 4
+
+    def test_jaz_taken_and_untaken(self):
+        def body(b):
+            b.ai(A(0), 0).ai(A(1), 0)
+            b.jaz("skip")
+            b.ai(A(1), 99)  # skipped
+            b.label("skip")
+            b.aadd(A(1), A(1), 1)
+
+        result, _ = execute(body)
+        assert result.registers[A(1)] == 1
+
+    def test_jap_jam(self):
+        def body(b):
+            b.ai(A(0), -1)
+            b.ai(A(1), 0)
+            b.jam("neg")
+            b.ai(A(1), 99)
+            b.label("neg")
+            b.ai(A(0), 0)
+            b.jap("pos")  # A0 >= 0: taken
+            b.ai(A(1), 98)
+            b.label("pos")
+            b.aadd(A(1), A(1), 5)
+
+        result, _ = execute(body)
+        assert result.registers[A(1)] == 5
+
+    def test_jmp(self):
+        def body(b):
+            b.ai(A(1), 1)
+            b.jmp("end")
+            b.ai(A(1), 2)
+            b.label("end")
+
+        result, _ = execute(body)
+        assert result.registers[A(1)] == 1
+
+    def test_branch_condition_must_be_int(self):
+        def body(b):
+            b.si(S(1), 1.5)
+            b.sta(A(0), S(1))  # STA requires int source -> fails there
+
+        with pytest.raises(ExecutionError):
+            execute(body)
+
+    def test_step_limit(self):
+        def body(b):
+            b.ai(A(0), 1)
+            b.label("forever")
+            b.jan("forever")
+
+        with pytest.raises(StepLimitExceeded):
+            execute(body, max_steps=50)
+
+
+class TestStrictness:
+    def test_uninitialised_register_read(self):
+        with pytest.raises(ExecutionError, match="uninitialised"):
+            execute(lambda b: b.fadd(S(1), S(2), S(3)))
+
+    def test_observer_sees_every_instruction(self):
+        b = ProgramBuilder("obs")
+        b.ai(A(0), 2)
+        b.label("loop")
+        b.asub(A(0), A(0), 1)
+        b.jan("loop")
+        events = []
+        run(
+            b.build(),
+            Memory(8),
+            observer=lambda idx, instr, taken, addr, vl: events.append((idx, taken)),
+        )
+        assert events == [(0, None), (1, None), (2, True), (1, None), (2, False)]
+
+    def test_observer_sees_effective_addresses(self):
+        b = ProgramBuilder("addr")
+        b.ai(A(1), 5)
+        b.si(S(1), 1.0)
+        b.stores(S(1), A(1), 10)
+        b.loads(S(2), A(1), 10)
+        addresses = []
+        run(
+            b.build(),
+            Memory(32),
+            observer=lambda idx, instr, taken, addr, vl: addresses.append(addr),
+        )
+        assert addresses == [None, None, 15, 15]

@@ -1,0 +1,142 @@
+"""Unit tests for the memory image and array layout."""
+
+import numpy as np
+import pytest
+
+from repro.asm import ArraySpec, ExecutionError, Memory
+from repro.kernels import Layout
+
+
+class TestMemory:
+    def test_read_write(self):
+        mem = Memory(10)
+        mem.write(3, 2.5)
+        assert mem.read(3) == 2.5
+        assert mem.read(0) == 0.0
+
+    @pytest.mark.parametrize("addr", [-1, 10, 1000])
+    def test_bounds(self, addr):
+        mem = Memory(10)
+        with pytest.raises(ExecutionError):
+            mem.read(addr)
+        with pytest.raises(ExecutionError):
+            mem.write(addr, 1.0)
+
+    def test_non_int_address(self):
+        mem = Memory(10)
+        with pytest.raises(ExecutionError):
+            mem.read(1.5)
+
+    def test_non_finite_store(self):
+        mem = Memory(10)
+        with pytest.raises(ExecutionError):
+            mem.write(0, float("inf"))
+        with pytest.raises(ExecutionError):
+            mem.write(0, float("nan"))
+
+    def test_blocks(self):
+        mem = Memory(10)
+        mem.write_block(2, np.array([1.0, 2.0, 3.0]))
+        assert list(mem.read_block(2, 3)) == [1.0, 2.0, 3.0]
+
+    def test_block_bounds(self):
+        mem = Memory(4)
+        with pytest.raises(ExecutionError):
+            mem.write_block(2, np.zeros(5))
+        with pytest.raises(ExecutionError):
+            mem.read_block(2, 5)
+
+    def test_copy_is_independent(self):
+        mem = Memory(4)
+        mem.write(0, 1.0)
+        clone = mem.copy()
+        clone.write(0, 9.0)
+        assert mem.read(0) == 1.0
+        assert clone.read(0) == 9.0
+
+    def test_equality(self):
+        a, b = Memory(4), Memory(4)
+        assert a == b
+        b.write(1, 5.0)
+        assert a != b
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+
+
+class TestArraySpec:
+    def test_1d_addressing(self):
+        spec = ArraySpec("x", 100, (8,))
+        assert spec.addr(0) == 100
+        assert spec.addr(7) == 107
+        assert spec.size == 8
+        assert spec.end == 108
+
+    def test_2d_row_major(self):
+        spec = ArraySpec("m", 10, (3, 4))
+        assert spec.addr(0, 0) == 10
+        assert spec.addr(1, 0) == 14
+        assert spec.addr(2, 3) == 10 + 2 * 4 + 3
+
+    def test_3d_addressing(self):
+        spec = ArraySpec("u", 0, (2, 3, 2))
+        assert spec.addr(1, 2, 1) == 1 * 6 + 2 * 2 + 1
+
+    def test_bounds(self):
+        spec = ArraySpec("x", 0, (4,))
+        with pytest.raises(ValueError):
+            spec.addr(4)
+        with pytest.raises(ValueError):
+            spec.addr(0, 0)
+
+    def test_round_trip_through_memory(self):
+        spec = ArraySpec("m", 5, (2, 3))
+        mem = Memory(20)
+        data = np.arange(6.0).reshape(2, 3)
+        spec.write_to(mem, data)
+        assert np.array_equal(spec.read_from(mem), data)
+
+    def test_write_shape_mismatch(self):
+        spec = ArraySpec("m", 0, (2, 3))
+        with pytest.raises(ValueError):
+            spec.write_to(Memory(10), np.zeros(6))
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            ArraySpec("x", -1, (4,))
+        with pytest.raises(ValueError):
+            ArraySpec("x", 0, ())
+        with pytest.raises(ValueError):
+            ArraySpec("x", 0, (0,))
+
+
+class TestLayout:
+    def test_sequential_allocation(self):
+        layout = Layout(origin=16)
+        x = layout.array("x", 10)
+        y = layout.array("y", 5)
+        assert x.base == 16
+        assert y.base == 26
+        assert layout["x"] is x
+
+    def test_duplicate_name_rejected(self):
+        layout = Layout()
+        layout.array("x", 4)
+        with pytest.raises(ValueError):
+            layout.array("x", 4)
+
+    def test_memory_covers_all_arrays(self):
+        layout = Layout(origin=4)
+        spec = layout.array("x", 10)
+        mem = layout.memory()
+        mem.write(spec.end - 1, 1.0)  # last allocated word must exist
+
+    def test_scalar_slot(self):
+        layout = Layout()
+        q = layout.scalar_slot("q")
+        assert q.size == 1
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(origin=-1)

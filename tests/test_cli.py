@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestSimulate:
+    def test_default_machine(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--kernel", "12", "--n", "16"
+        )
+        assert code == 0
+        assert "CRAY-like" in out
+        assert "per cycle" in out
+
+    def test_machine_spec_and_config(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--kernel", "12", "--n", "16",
+            "--machine", "ruu:2:20", "--config", "M5BR2",
+        )
+        assert code == 0
+        assert "RUU x2 R=20" in out
+        assert "M5BR2" in out
+
+    def test_unroll_and_no_schedule(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "simulate", "--kernel", "12", "--n", "16",
+            "--unroll", "2", "--no-schedule",
+        )
+        assert code == 0
+
+    def test_bad_machine_spec(self, capsys):
+        with pytest.raises(ValueError):
+            run_cli(
+                capsys, "simulate", "--kernel", "12", "--n", "16",
+                "--machine", "warp-drive",
+            )
+
+
+class TestInspection:
+    def test_disasm(self, capsys):
+        code, out = run_cli(capsys, "disasm", "--kernel", "5", "--n", "8")
+        assert code == 0
+        assert "LOADS" in out
+        assert "loop:" in out
+
+    def test_stats(self, capsys):
+        code, out = run_cli(capsys, "stats", "--kernel", "5", "--n", "8")
+        assert code == 0
+        assert "memory references" in out
+
+    def test_limits(self, capsys):
+        code, out = run_cli(capsys, "limits", "--kernel", "5", "--n", "8")
+        assert code == 0
+        assert "pseudo-dataflow limit" in out
+        assert "serial (WAW) limit" in out
+
+    def test_stalls(self, capsys):
+        code, out = run_cli(capsys, "stalls", "--kernel", "5", "--n", "8")
+        assert code == 0
+        assert "source register" in out
+
+
+class TestCaptureReplay:
+    def test_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        code, out = run_cli(
+            capsys, "capture", "--kernel", "12", "--n", "16",
+            "--out", str(path),
+        )
+        assert code == 0
+        assert path.exists()
+
+        code, out = run_cli(
+            capsys, "replay", "--trace", str(path), "--machine", "ooo:4"
+        )
+        assert code == 0
+        assert "out-of-order x4" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--kernel", "99"])
+
+    def test_tables_delegates(self, capsys, monkeypatch):
+        from repro.harness import runner
+
+        monkeypatch.setattr(
+            runner, "section33", lambda: {"scalar": 0.5, "vectorizable": 0.6}
+        )
+        code, out = run_cli(capsys, "tables", "section33")
+        assert code == 0
+        assert "0.50" in out
+
+
+class TestVectorFlag:
+    def test_vector_kernel_simulation(self, capsys):
+        code = main(
+            ["simulate", "--kernel", "12", "--n", "64", "--vector"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per cycle" in out
+
+    def test_vector_flag_rejects_scalar_only_loops(self, capsys):
+        with pytest.raises(ValueError):
+            main(["simulate", "--kernel", "5", "--vector"])

@@ -1,0 +1,83 @@
+"""Unit tests for the result-bus models."""
+
+import pytest
+
+from repro.core import BusKind, ResultBuses, SlotPerCycle
+
+
+class TestOneBus:
+    def test_one_result_per_cycle(self):
+        buses = ResultBuses(BusKind.ONE_BUS, 4)
+        assert buses.n_buses == 1
+        assert buses.can_reserve(0, 10)
+        buses.reserve(2, 10)  # any issue unit shares the single bus
+        assert not buses.can_reserve(1, 10)
+        assert buses.can_reserve(1, 11)
+
+    def test_earliest_slot(self):
+        buses = ResultBuses(BusKind.ONE_BUS, 1)
+        buses.reserve(0, 5)
+        buses.reserve(0, 6)
+        assert buses.earliest_slot(0, 5) == 7
+
+    def test_earliest_slot_for_result(self):
+        buses = ResultBuses(BusKind.ONE_BUS, 1)
+        buses.reserve(0, 12)
+        # issue at 1 with latency 11 collides at 12 -> push issue to 2
+        assert buses.earliest_slot_for_result(0, 1, 11) == 2
+
+
+class TestNBus:
+    def test_unit_bound_to_its_bus(self):
+        buses = ResultBuses(BusKind.N_BUS, 2)
+        buses.reserve(0, 10)
+        assert not buses.can_reserve(0, 10)
+        assert buses.can_reserve(1, 10)  # a different bus is free
+
+    def test_double_reserve_rejected(self):
+        buses = ResultBuses(BusKind.N_BUS, 2)
+        buses.reserve(0, 10)
+        with pytest.raises(ValueError):
+            buses.reserve(0, 10)
+
+
+class TestXBar:
+    def test_any_free_bus_accepted(self):
+        buses = ResultBuses(BusKind.X_BAR, 2)
+        assert buses.reserve(0, 10) == 0
+        assert buses.reserve(0, 10) == 1  # same cycle, second bus
+        assert not buses.can_reserve(0, 10)
+        with pytest.raises(ValueError):
+            buses.reserve(0, 10)
+
+
+class TestValidation:
+    def test_need_at_least_one_bus(self):
+        with pytest.raises(ValueError):
+            ResultBuses(BusKind.N_BUS, 0)
+
+    def test_str(self):
+        assert str(BusKind.N_BUS) == "N-Bus"
+        assert str(BusKind.ONE_BUS) == "1-Bus"
+        assert str(BusKind.X_BAR) == "X-Bar"
+
+
+class TestSlotPerCycle:
+    def test_width_enforced(self):
+        slots = SlotPerCycle(2)
+        slots.take(5)
+        slots.take(5)
+        assert not slots.available(5)
+        with pytest.raises(ValueError):
+            slots.take(5)
+        assert slots.available(6)
+
+    def test_earliest(self):
+        slots = SlotPerCycle(1)
+        slots.take(3)
+        slots.take(4)
+        assert slots.earliest(3) == 5
+
+    def test_positive_width(self):
+        with pytest.raises(ValueError):
+            SlotPerCycle(0)

@@ -1,0 +1,71 @@
+"""Unit tests for machine configuration and simulation results."""
+
+import pytest
+
+from repro.core import (
+    CONFIGS_BY_NAME,
+    M5BR2,
+    M5BR5,
+    M11BR2,
+    M11BR5,
+    MachineConfig,
+    STANDARD_CONFIGS,
+    SimulationResult,
+    config_by_name,
+)
+from repro.isa import FunctionalUnit
+
+
+class TestMachineConfig:
+    def test_names(self):
+        assert M11BR5.name == "M11BR5"
+        assert M11BR2.name == "M11BR2"
+        assert M5BR5.name == "M5BR5"
+        assert M5BR2.name == "M5BR2"
+
+    def test_standard_configs_order(self):
+        assert STANDARD_CONFIGS == (M11BR5, M11BR2, M5BR5, M5BR2)
+
+    def test_latencies_wired_through(self):
+        table = M5BR2.latencies
+        assert table.latency(FunctionalUnit.MEMORY) == 5
+        assert table.latency(FunctionalUnit.BRANCH) == 2
+        assert table.latency(FunctionalUnit.FP_ADD) == 6
+
+    def test_lookup_by_name(self):
+        assert config_by_name("M11BR5") is CONFIGS_BY_NAME["M11BR5"]
+        assert config_by_name("m5br2").name == "M5BR2"
+        with pytest.raises(ValueError):
+            config_by_name("M7BR3")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(memory_latency=0)
+        with pytest.raises(ValueError):
+            MachineConfig(branch_latency=0)
+
+    def test_custom_config(self):
+        config = MachineConfig(memory_latency=20, branch_latency=1)
+        assert config.name == "M20BR1"
+
+    def test_str(self):
+        assert str(M11BR5) == "M11BR5"
+
+
+class TestSimulationResult:
+    def test_issue_rate(self):
+        result = SimulationResult(
+            trace_name="t", simulator="s", config=M11BR5,
+            instructions=50, cycles=100,
+        )
+        assert result.issue_rate == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationResult("t", "s", M11BR5, instructions=0, cycles=10)
+        with pytest.raises(ValueError):
+            SimulationResult("t", "s", M11BR5, instructions=10, cycles=0)
+
+    def test_str(self):
+        result = SimulationResult("t", "s", M11BR5, instructions=5, cycles=10)
+        assert "0.500" in str(result)

@@ -1,0 +1,149 @@
+"""Tests for the Section 3.3 baselines: CDC 6600 and Tomasulo machines.
+
+The paper orders the single-issue schemes by how much blockage they
+remove: issue blocking (CRAY-like) < CDC 6600 (RAW resolved at units,
+WAW blocks) < schemes that issue through RAW and WAW (Tomasulo, RUU).
+These tests pin both the exact timing of small cases and that lattice on
+the real kernels.
+"""
+
+import pytest
+
+from repro.core import (
+    CDC6600Machine,
+    M5BR2,
+    M11BR5,
+    RUUMachine,
+    TomasuloMachine,
+    cray_like_machine,
+)
+
+from helpers import aadd, fadd, fmul, jan, loads, make_trace, si, stores
+
+
+class TestCDC6600Timing:
+    def test_raw_does_not_block_issue(self):
+        sim = CDC6600Machine()
+        # load@0 (S1 at 11); fadd ISSUES at 1, waits at the unit, runs
+        # 11..17; an independent aadd issues at 2 and finishes at 4.
+        trace = make_trace([loads(1, 1), fadd(2, 1, 1), aadd(2, 2, 1)])
+        result = sim.simulate(trace, M11BR5)
+        assert result.cycles == 17
+        # Compare: the CRAY-like machine issues the aadd only at 11.
+        cray = cray_like_machine().simulate(trace, M11BR5)
+        assert cray.cycles == 17  # completion equal; issue pattern differs
+
+    def test_waw_blocks_issue(self):
+        sim = CDC6600Machine()
+        # fmul writes S2 (1..8 after si);  si S2 has a WAW hazard and
+        # issues only at 8.
+        trace = make_trace([si(1), fmul(2, 1, 1), si(2)])
+        result = sim.simulate(trace, M11BR5)
+        # si@0 c1; fmul@1 start1 c8; si S2 issue@8 c9.
+        assert result.cycles == 9
+
+    def test_unit_held_until_completion(self):
+        sim = CDC6600Machine()
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        # fadd@1 runs 1..7 and HOLDS the unit; second fadd issues at 7.
+        assert sim.simulate(trace, M11BR5).cycles == 13
+
+    def test_pipelined_variant_releases_unit(self):
+        sim = CDC6600Machine(fu_holds_until_complete=False)
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        assert sim.simulate(trace, M11BR5).cycles == 8
+
+    def test_branch_waits_for_a0(self):
+        sim = CDC6600Machine()
+        trace = make_trace([aadd(0, 0, 1), jan(True), si(1)])
+        # aadd@0 c2; branch issue waits for A0 -> @2, resolve 7; si@7 c8.
+        assert sim.simulate(trace, M11BR5).cycles == 8
+
+
+class TestTomasuloTiming:
+    def test_single_instruction(self):
+        sim = TomasuloMachine()
+        # issue@0 into a station; starts @1; finish 2; CDB broadcast @2.
+        assert sim.simulate(make_trace([si(1)]), M11BR5).cycles == 2
+
+    def test_waw_and_war_free(self):
+        sim = TomasuloMachine(stations_per_unit=8)
+        # Second write to S1 proceeds immediately; its consumer finishes
+        # long before the load-dependent chain.
+        trace = make_trace([loads(1, 1), fadd(2, 1, 1), si(1), fadd(3, 1, 1)])
+        result = sim.simulate(trace, M11BR5)
+        # load issue@0 start@1 back@12; fadd#1 start@12 back@18.
+        assert result.cycles == 18
+
+    def test_station_exhaustion_blocks_issue(self):
+        tight = TomasuloMachine(stations_per_unit=1)
+        roomy = TomasuloMachine(stations_per_unit=8)
+        # Three loads: with one memory station, each must broadcast
+        # before the next can issue.
+        trace = make_trace([loads(1, 1), loads(2, 1), loads(3, 1)])
+        assert (
+            tight.simulate(trace, M11BR5).cycles
+            > roomy.simulate(trace, M11BR5).cycles
+        )
+
+    def test_cdb_contention(self):
+        narrow = TomasuloMachine(stations_per_unit=8, cdb_width=1)
+        wide = TomasuloMachine(stations_per_unit=8, cdb_width=4)
+        # Many same-latency independent ops: broadcasts pile up on a
+        # single CDB.
+        items = [si(1)] + [aadd(i % 4 + 4, 1) for i in range(6)]
+        # aadd helper writes A registers; build FP congestion instead:
+        items = [si(1), si(2)] + [fadd(i % 4 + 3, 1, 2) for i in range(6)]
+        trace = make_trace(items)
+        assert (
+            narrow.simulate(trace, M11BR5).cycles
+            >= wide.simulate(trace, M11BR5).cycles
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TomasuloMachine(stations_per_unit=0)
+        with pytest.raises(ValueError):
+            TomasuloMachine(cdb_width=0)
+
+
+class TestSection33Lattice:
+    """Issue blocking <= CDC 6600 <= Tomasulo, on every kernel."""
+
+    def test_cdc_between_cray_and_tomasulo(self, small_traces, any_config):
+        """With matched data paths (wide CDB), removing blockage helps at
+        every step.  A 1-wide CDB can drop Tomasulo below the CDC model --
+        that is a real bandwidth effect, not a scheme property -- so the
+        lattice is asserted with contention removed."""
+        cray = cray_like_machine()
+        cdc = CDC6600Machine(fu_holds_until_complete=False)
+        tomasulo = TomasuloMachine(stations_per_unit=16, cdb_width=8)
+        for trace in small_traces.values():
+            r_cray = cray.issue_rate(trace, any_config)
+            r_cdc = cdc.issue_rate(trace, any_config)
+            r_tom = tomasulo.issue_rate(trace, any_config)
+            assert r_cdc >= r_cray * 0.98
+            assert r_tom >= r_cdc * 0.95
+
+    def test_tomasulo_tracks_single_issue_ruu(self, small_traces):
+        """Both issue through RAW and WAW; without the in-order-commit
+        constraint Tomasulo should be at least comparable to the RUU."""
+        tomasulo = TomasuloMachine(stations_per_unit=16, cdb_width=4)
+        ruu = RUUMachine(1, 50)
+        for trace in small_traces.values():
+            r_tom = tomasulo.issue_rate(trace, M11BR5)
+            r_ruu = ruu.issue_rate(trace, M11BR5)
+            assert r_tom >= r_ruu * 0.90
+
+    def test_single_issue_bound(self, small_traces, any_config):
+        for sim in (CDC6600Machine(), TomasuloMachine()):
+            for trace in small_traces.values():
+                assert sim.issue_rate(trace, any_config) <= 1.0
+
+    def test_limits_still_dominate(self, small_traces, any_config):
+        from repro.limits import compute_limits
+
+        for sim in (CDC6600Machine(), TomasuloMachine(stations_per_unit=16)):
+            for trace in small_traces.values():
+                limit = compute_limits(trace, any_config).actual_rate
+                assert sim.issue_rate(trace, any_config) <= limit * 1.0001

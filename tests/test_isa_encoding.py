@@ -1,0 +1,40 @@
+"""Unit tests for parcel accounting."""
+
+from repro.isa import A, A0, Instruction, Opcode, S
+from repro.isa.encoding import (
+    PARCEL_BITS,
+    mean_parcels,
+    parcel_histogram,
+    total_bits,
+    total_parcels,
+)
+
+_ONE = Instruction(Opcode.FADD, S(1), (S(2), S(3)))  # 1 parcel
+_TWO = Instruction(Opcode.LOADS, S(1), (A(1), 0))  # 2 parcels
+_BR = Instruction(Opcode.JAN, None, (A0,), target="x")  # 2 parcels
+
+
+def test_total_parcels():
+    assert total_parcels([]) == 0
+    assert total_parcels([_ONE]) == 1
+    assert total_parcels([_ONE, _TWO, _BR]) == 5
+
+
+def test_total_bits():
+    assert PARCEL_BITS == 16
+    assert total_bits([_ONE, _TWO]) == 48
+
+
+def test_histogram():
+    assert parcel_histogram([_ONE, _ONE, _TWO]) == {1: 2, 2: 1}
+    assert parcel_histogram([]) == {}
+
+
+def test_mean_parcels():
+    assert mean_parcels([]) == 0.0
+    assert mean_parcels([_ONE, _TWO]) == 1.5
+
+
+def test_branches_are_two_parcels():
+    """The slow-branch model leans on branches being 2-parcel instructions."""
+    assert _BR.parcels == 2

@@ -1,0 +1,66 @@
+"""Unit tests for the functional-unit latency model."""
+
+import pytest
+
+from repro.isa import (
+    FIXED_LATENCIES,
+    FunctionalUnit,
+    LatencyTable,
+    latency_table,
+)
+
+
+class TestFixedLatencies:
+    def test_cray1_style_values(self):
+        assert FIXED_LATENCIES[FunctionalUnit.ADDRESS_ADD] == 2
+        assert FIXED_LATENCIES[FunctionalUnit.FP_ADD] == 6
+        assert FIXED_LATENCIES[FunctionalUnit.FP_MULTIPLY] == 7
+        assert FIXED_LATENCIES[FunctionalUnit.FP_RECIPROCAL] == 14
+        assert FIXED_LATENCIES[FunctionalUnit.TRANSFER] == 1
+
+    def test_memory_and_branch_are_parameters(self):
+        assert FunctionalUnit.MEMORY not in FIXED_LATENCIES
+        assert FunctionalUnit.BRANCH not in FIXED_LATENCIES
+
+
+class TestLatencyTable:
+    def test_defaults_are_slow_machine(self):
+        table = LatencyTable()
+        assert table.latency(FunctionalUnit.MEMORY) == 11
+        assert table.latency(FunctionalUnit.BRANCH) == 5
+
+    def test_paper_variants(self):
+        assert latency_table(5, 2).latency(FunctionalUnit.MEMORY) == 5
+        assert latency_table(5, 2).latency(FunctionalUnit.BRANCH) == 2
+        assert latency_table(11, 2).latency(FunctionalUnit.MEMORY) == 11
+
+    def test_as_dict_covers_every_unit(self):
+        table = latency_table()
+        mapping = table.as_dict()
+        assert set(mapping) == set(FunctionalUnit)
+        assert all(latency >= 1 for latency in mapping.values())
+
+    def test_overrides(self):
+        table = LatencyTable(overrides={FunctionalUnit.FP_ADD: 3})
+        assert table.latency(FunctionalUnit.FP_ADD) == 3
+        assert table.latency(FunctionalUnit.FP_MULTIPLY) == 7
+
+    def test_override_of_memory_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTable(overrides={FunctionalUnit.MEMORY: 3})
+        with pytest.raises(ValueError):
+            LatencyTable(overrides={FunctionalUnit.BRANCH: 3})
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_latencies_rejected(self, bad):
+        with pytest.raises(ValueError):
+            LatencyTable(memory_latency=bad)
+        with pytest.raises(ValueError):
+            LatencyTable(branch_latency=bad)
+        with pytest.raises(ValueError):
+            LatencyTable(overrides={FunctionalUnit.FP_ADD: bad})
+
+    def test_unit_flags(self):
+        assert FunctionalUnit.MEMORY.is_memory
+        assert FunctionalUnit.BRANCH.is_branch
+        assert not FunctionalUnit.FP_ADD.is_memory

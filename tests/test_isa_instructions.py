@@ -1,0 +1,171 @@
+"""Unit tests for instruction construction and operand validation."""
+
+import pytest
+
+from repro.isa import (
+    A,
+    A0,
+    B,
+    Instruction,
+    InstructionError,
+    Opcode,
+    S,
+    T,
+    latency_table,
+)
+
+
+def instr(opcode, dest=None, srcs=(), target=None):
+    return Instruction(opcode, dest, tuple(srcs), target=target)
+
+
+class TestWellFormed:
+    def test_fadd(self):
+        i = instr(Opcode.FADD, S(1), (S(2), S(3)))
+        assert i.dest == S(1)
+        assert i.source_registers == (S(2), S(3))
+        assert not i.is_branch
+
+    def test_load(self):
+        i = instr(Opcode.LOADS, S(1), (A(2), 100))
+        assert i.is_load
+        assert i.source_registers == (A(2),)
+
+    def test_store_has_no_dest(self):
+        i = instr(Opcode.STORES, None, (S(1), A(2), 4))
+        assert i.is_store
+        assert i.dest is None
+        assert i.source_registers == (S(1), A(2))
+
+    def test_branch(self):
+        i = instr(Opcode.JAN, None, (A0,), target="loop")
+        assert i.is_branch and i.is_conditional_branch
+        assert i.target == "loop"
+
+    def test_jmp_needs_no_sources(self):
+        i = instr(Opcode.JMP, None, (), target="out")
+        assert i.is_branch and not i.is_conditional_branch
+
+    def test_immediates_not_in_source_registers(self):
+        i = instr(Opcode.AADD, A(1), (A(2), 5))
+        assert i.source_registers == (A(2),)
+
+    def test_moves_between_primary_and_backup(self):
+        instr(Opcode.AMOVE, B(10), (A(1),))
+        instr(Opcode.AMOVE, A(1), (B(10),))
+        instr(Opcode.SMOVE, T(10), (S(1),))
+        instr(Opcode.SMOVE, S(1), (T(10),))
+
+    def test_cross_file_transfers(self):
+        instr(Opcode.ATS, S(1), (A(2),))
+        instr(Opcode.STA, A(2), (S(1),))
+        instr(Opcode.FIX, A(1), (S(1),))
+        instr(Opcode.FLOAT, S(1), (A(1),))
+
+    def test_shift_immediate_count(self):
+        instr(Opcode.SSHR, S(1), (S(2), 3))
+
+
+class TestMalformed:
+    def test_wrong_operand_count(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.FADD, S(1), (S(2),))
+        with pytest.raises(InstructionError):
+            instr(Opcode.FRECIP, S(1), (S(2), S(3)))
+
+    def test_missing_dest(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.FADD, None, (S(1), S(2)))
+
+    def test_spurious_dest(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.STORES, S(1), (S(1), A(2), 0))
+        with pytest.raises(InstructionError):
+            instr(Opcode.JAN, A(1), (A0,), target="x")
+
+    def test_branch_without_target(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.JAN, None, (A0,))
+
+    def test_target_on_non_branch(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.FADD, S(1), (S(2), S(3)), target="x")
+
+    def test_conditional_branch_must_test_a0(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.JAZ, None, (A(1),), target="x")
+
+    def test_fp_requires_s_registers(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.FADD, S(1), (S(2), 3.0))
+        with pytest.raises(InstructionError):
+            instr(Opcode.FADD, A(1), (S(2), S(3)))
+        with pytest.raises(InstructionError):
+            instr(Opcode.FMUL, S(1), (A(2), S(3)))
+
+    def test_address_alu_rejects_s_registers(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.AADD, A(1), (S(2), 1))
+        with pytest.raises(InstructionError):
+            instr(Opcode.AADD, S(1), (A(2), 1))
+
+    def test_address_alu_rejects_float_immediate(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.AADD, A(1), (A(2), 1.5))
+
+    def test_load_operand_types(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.LOADS, A(1), (A(2), 0))  # dest must be S
+        with pytest.raises(InstructionError):
+            instr(Opcode.LOADA, S(1), (A(2), 0))  # dest must be A
+        with pytest.raises(InstructionError):
+            instr(Opcode.LOADS, S(1), (S(2), 0))  # base must be A
+        with pytest.raises(InstructionError):
+            instr(Opcode.LOADS, S(1), (A(2), 1.5))  # int displacement
+
+    def test_store_operand_types(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.STORES, None, (A(1), A(2), 0))  # data must be S
+        with pytest.raises(InstructionError):
+            instr(Opcode.STOREA, None, (S(1), A(2), 0))  # data must be A
+
+    def test_xfer_and_convert_types(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.ATS, A(1), (A(2),))
+        with pytest.raises(InstructionError):
+            instr(Opcode.STA, S(1), (S(2),))
+        with pytest.raises(InstructionError):
+            instr(Opcode.FIX, S(1), (S(2),))
+        with pytest.raises(InstructionError):
+            instr(Opcode.FLOAT, A(1), (A(2),))
+
+    def test_bool_is_not_an_integer_immediate(self):
+        with pytest.raises(InstructionError):
+            instr(Opcode.AI, A(1), (True,))
+
+
+class TestDerived:
+    def test_latency_lookup(self):
+        table = latency_table(11, 5)
+        assert instr(Opcode.LOADS, S(1), (A(1), 0)).latency(table) == 11
+        assert instr(Opcode.FADD, S(1), (S(1), S(2))).latency(table) == 6
+        assert instr(Opcode.JMP, None, (), target="x").latency(table) == 5
+        fast = latency_table(5, 2)
+        assert instr(Opcode.LOADS, S(1), (A(1), 0)).latency(fast) == 5
+
+    def test_str_rendering(self):
+        text = str(instr(Opcode.FADD, S(1), (S(2), S(3))))
+        assert "FADD" in text and "S1" in text and "S2" in text
+
+    def test_str_includes_comment(self):
+        i = Instruction(Opcode.PASS, None, (), comment="spacer")
+        assert "spacer" in str(i)
+
+    def test_srcs_coerced_to_tuple(self):
+        i = Instruction(Opcode.FADD, S(1), [S(2), S(3)])
+        assert isinstance(i.srcs, tuple)
+
+    def test_frozen(self):
+        i = instr(Opcode.PASS)
+        with pytest.raises(Exception):
+            i.dest = S(1)

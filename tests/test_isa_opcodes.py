@@ -1,0 +1,85 @@
+"""Unit tests for opcode metadata."""
+
+import pytest
+
+from repro.isa import OPCODE_INFO, FunctionalUnit, OpKind, Opcode
+
+
+class TestMetadataCompleteness:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+            info = opcode.info
+            assert info.parcels in (1, 2)
+            assert info.n_srcs >= 0
+
+    def test_info_is_consistent_with_properties(self):
+        for opcode in Opcode:
+            assert opcode.unit is opcode.info.unit
+            assert opcode.kind is opcode.info.kind
+            assert opcode.parcels == opcode.info.parcels
+
+
+class TestUnitAssignments:
+    @pytest.mark.parametrize(
+        "opcode,unit",
+        [
+            (Opcode.AADD, FunctionalUnit.ADDRESS_ADD),
+            (Opcode.ASUB, FunctionalUnit.ADDRESS_ADD),
+            (Opcode.AMUL, FunctionalUnit.ADDRESS_MULTIPLY),
+            (Opcode.FADD, FunctionalUnit.FP_ADD),
+            (Opcode.FSUB, FunctionalUnit.FP_ADD),
+            (Opcode.FMUL, FunctionalUnit.FP_MULTIPLY),
+            (Opcode.FRECIP, FunctionalUnit.FP_RECIPROCAL),
+            (Opcode.LOADS, FunctionalUnit.MEMORY),
+            (Opcode.STOREA, FunctionalUnit.MEMORY),
+            (Opcode.JAZ, FunctionalUnit.BRANCH),
+            (Opcode.JMP, FunctionalUnit.BRANCH),
+            (Opcode.AI, FunctionalUnit.TRANSFER),
+            (Opcode.SAND, FunctionalUnit.SCALAR_LOGICAL),
+            (Opcode.SSHR, FunctionalUnit.SCALAR_SHIFT),
+            (Opcode.FIX, FunctionalUnit.SCALAR_SHIFT),
+        ],
+    )
+    def test_unit(self, opcode, unit):
+        assert opcode.unit is unit
+
+
+class TestClassificationFlags:
+    def test_branches(self):
+        branches = {o for o in Opcode if o.is_branch}
+        assert branches == {Opcode.JAZ, Opcode.JAN, Opcode.JAP, Opcode.JAM, Opcode.JMP}
+
+    def test_memory_ops(self):
+        memory = {o for o in Opcode if o.is_memory}
+        assert memory == {Opcode.LOADS, Opcode.LOADA, Opcode.STORES, Opcode.STOREA}
+
+    def test_writes_register(self):
+        assert Opcode.FADD.writes_register
+        assert Opcode.LOADS.writes_register
+        assert not Opcode.STORES.writes_register
+        assert not Opcode.JAN.writes_register
+        assert not Opcode.PASS.writes_register
+
+    def test_two_parcel_instructions(self):
+        """Immediates, memory references and branches carry extra parcels."""
+        for opcode in Opcode:
+            if opcode.is_branch or opcode.kind in (
+                OpKind.IMM_INT,
+                OpKind.IMM_FLOAT,
+                OpKind.LOAD,
+                OpKind.STORE,
+                OpKind.VECTOR_LOAD,
+                OpKind.VECTOR_STORE,
+            ):
+                assert opcode.parcels == 2, opcode
+            else:
+                assert opcode.parcels == 1, opcode
+
+    def test_source_counts(self):
+        assert Opcode.FADD.info.n_srcs == 2
+        assert Opcode.FRECIP.info.n_srcs == 1
+        assert Opcode.LOADS.info.n_srcs == 2  # base + displacement
+        assert Opcode.STORES.info.n_srcs == 3  # data + base + displacement
+        assert Opcode.JMP.info.n_srcs == 0
+        assert Opcode.JAN.info.n_srcs == 1  # A0

@@ -1,0 +1,92 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa import A, A0, B, RegFile, Register, S, T, all_registers, parse_register
+
+
+class TestRegFile:
+    def test_sizes(self):
+        assert RegFile.A.size == 8
+        assert RegFile.S.size == 8
+        assert RegFile.B.size == 64
+        assert RegFile.T.size == 64
+
+    def test_primary_files(self):
+        assert RegFile.A.is_primary
+        assert RegFile.S.is_primary
+        assert not RegFile.B.is_primary
+        assert not RegFile.T.is_primary
+
+
+class TestRegister:
+    def test_constructors(self):
+        assert A(3) == Register(RegFile.A, 3)
+        assert S(0) == Register(RegFile.S, 0)
+        assert B(63) == Register(RegFile.B, 63)
+        assert T(17) == Register(RegFile.T, 17)
+
+    def test_a0_is_the_branch_register(self):
+        assert A0 == A(0)
+        assert A0.name == "A0"
+
+    @pytest.mark.parametrize("index", [-1, 8, 100])
+    def test_primary_index_out_of_range(self, index):
+        with pytest.raises(ValueError):
+            A(index)
+        with pytest.raises(ValueError):
+            S(index)
+
+    @pytest.mark.parametrize("index", [-1, 64])
+    def test_backup_index_out_of_range(self, index):
+        with pytest.raises(ValueError):
+            B(index)
+        with pytest.raises(ValueError):
+            T(index)
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(TypeError):
+            Register(RegFile.A, 1.5)
+
+    def test_name_and_repr(self):
+        assert A(5).name == "A5"
+        assert repr(T(12)) == "T12"
+
+    def test_value_kinds(self):
+        assert A(1).is_address and not A(1).is_scalar
+        assert B(1).is_address
+        assert S(1).is_scalar and not S(1).is_address
+        assert T(1).is_scalar
+
+    def test_hashable_and_usable_as_key(self):
+        table = {A(1): 10, S(1): 20}
+        assert table[A(1)] == 10
+        assert A(1) != S(1)
+
+    def test_total_order(self):
+        regs = sorted([S(1), A(2), A(1), S(0)])
+        assert regs == [A(1), A(2), S(0), S(1)]
+
+
+class TestAllRegisters:
+    def test_count(self):
+        # A + S + B + T + V (vector) + L (vector length)
+        assert len(all_registers()) == 8 + 8 + 64 + 64 + 8 + 1
+
+    def test_unique(self):
+        regs = all_registers()
+        assert len(set(regs)) == len(regs)
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("A0", A(0)), ("s7", S(7)), ("B63", B(63)), (" t17 ", T(17))],
+    )
+    def test_valid(self, text, expected):
+        assert parse_register(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "A", "X3", "A-1", "A99", "Sx", "7A"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_register(text)

@@ -1,0 +1,122 @@
+"""Structural tests on the kernel encodings (static program properties)."""
+
+import pytest
+
+from repro.isa import A0, FunctionalUnit, OpKind, RegFile
+from repro.kernels import ALL_LOOPS, SMALL_SIZES, build_kernel
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {
+        number: build_kernel(number, SMALL_SIZES[number], schedule=False).program
+        for number in ALL_LOOPS
+    }
+
+
+class TestStaticStructure:
+    def test_static_sizes_are_modest(self, programs):
+        """Hand-compiled loop kernels stay compact (like CFT output)."""
+        for number, program in programs.items():
+            assert 6 <= len(program) <= 120, number
+
+    def test_every_kernel_has_a_backward_loop_branch(self, programs):
+        for number, program in programs.items():
+            backward = [
+                i
+                for i in program.instructions
+                if i.is_branch and program.labels[i.target] is not None
+                and program.target_index(i) < len(program)
+            ]
+            assert backward, number
+
+    def test_conditional_branches_test_a0_only(self, programs):
+        for program in programs.values():
+            for instr in program.instructions:
+                if instr.is_conditional_branch:
+                    assert instr.source_registers == (A0,)
+
+    def test_all_branch_targets_resolve(self, programs):
+        for program in programs.values():
+            for instr in program.instructions:
+                if instr.is_branch:
+                    target = program.target_index(instr)
+                    assert 0 <= target <= len(program)
+
+    def test_loops_close_with_jan_or_jaz(self, programs):
+        """Loop-closing branches are counted-loop tests (JAN), with loop 2's
+        inner-trip guard (JAZ) the one extra conditional."""
+        from repro.isa import Opcode
+
+        for number, program in programs.items():
+            kinds = {
+                i.opcode
+                for i in program.instructions
+                if i.is_conditional_branch
+            }
+            assert kinds <= {Opcode.JAN, Opcode.JAZ}, number
+
+    def test_no_kernel_uses_vector_instructions(self, programs):
+        """The paper runs scalar code; vector encodings live separately."""
+        for program in programs.values():
+            assert not any(i.is_vector for i in program.instructions)
+
+    def test_registers_stay_in_primary_files_plus_backups(self, programs):
+        for number, program in programs.items():
+            for instr in program.instructions:
+                for reg in instr.source_registers + (
+                    (instr.dest,) if instr.dest else ()
+                ):
+                    assert reg.file in (
+                        RegFile.A,
+                        RegFile.S,
+                        RegFile.B,
+                        RegFile.T,
+                    ), (number, instr)
+
+
+class TestInstructionMixSanity:
+    def test_every_kernel_touches_memory_and_fp(self, programs):
+        for number, program in programs.items():
+            units = {i.unit for i in program.instructions}
+            assert FunctionalUnit.MEMORY in units, number
+            assert (
+                FunctionalUnit.FP_ADD in units
+                or FunctionalUnit.FP_MULTIPLY in units
+            ), number
+
+    def test_recurrence_loops_have_fp_on_a_carried_register(self, programs):
+        """Loops 5 and 11 keep their recurrence value register-resident:
+        some FP instruction both reads and writes the same S register."""
+        for number in (5, 11):
+            program = programs[number]
+            assert any(
+                i.dest is not None
+                and i.dest in i.source_registers
+                and i.unit in (FunctionalUnit.FP_ADD, FunctionalUnit.FP_MULTIPLY)
+                for i in program.instructions
+            ), number
+
+    def test_pic_kernels_use_conversions(self, programs):
+        from repro.isa import Opcode
+
+        for number in (13, 14):
+            opcodes = {i.opcode for i in programs[number].instructions}
+            assert Opcode.FIX in opcodes, number
+
+    def test_backup_registers_only_where_pressure_demands(self, programs):
+        uses_backup = {
+            number: any(
+                reg.file in (RegFile.B, RegFile.T)
+                for i in program.instructions
+                for reg in i.source_registers
+                + ((i.dest,) if i.dest else ())
+            )
+            for number, program in programs.items()
+        }
+        # Loops 8 and 9 have more constants than S registers.
+        assert uses_backup[8]
+        assert uses_backup[9]
+        # The tight recurrences never need backups.
+        assert not uses_backup[5]
+        assert not uses_backup[11]

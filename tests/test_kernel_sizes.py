@@ -1,0 +1,35 @@
+"""Problem-size insensitivity: issue rates converge quickly with loop length.
+
+This justifies the reproduction's scaled-down loop sizes (see
+``repro.kernels.sizes``): the steady-state issue rate of each loop is
+reached within a handful of iterations, so doubling the problem size
+changes the per-loop rate only marginally.
+"""
+
+import pytest
+
+from repro.core import M11BR5, RUUMachine, cray_like_machine
+from repro.kernels import ALL_LOOPS, build_kernel
+
+
+def _grow(number: int, n: int) -> int:
+    if number == 2:
+        return n * 2  # must stay a power of two
+    return n * 2
+
+
+@pytest.mark.parametrize("number", ALL_LOOPS)
+def test_cray_rate_insensitive_to_size(number):
+    base = {1: 32, 2: 32, 3: 32, 4: 60, 5: 32, 6: 10, 7: 20, 8: 8,
+            9: 16, 10: 16, 11: 32, 12: 32, 13: 12, 14: 12}[number]
+    sim = cray_like_machine()
+    small = sim.issue_rate(build_kernel(number, base).verify(), M11BR5)
+    large = sim.issue_rate(build_kernel(number, _grow(number, base)).verify(), M11BR5)
+    assert small == pytest.approx(large, rel=0.12)
+
+
+def test_ruu_rate_insensitive_to_size_spot_check():
+    sim = RUUMachine(4, 50)
+    small = sim.issue_rate(build_kernel(12, 64).verify(), M11BR5)
+    large = sim.issue_rate(build_kernel(12, 128).verify(), M11BR5)
+    assert small == pytest.approx(large, rel=0.10)

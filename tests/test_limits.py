@@ -1,0 +1,148 @@
+"""Tests for the pseudo-dataflow, resource and serial limit analyses."""
+
+import pytest
+
+from repro.core import (
+    M5BR2,
+    M11BR5,
+    InOrderMultiIssueMachine,
+    OutOfOrderMultiIssueMachine,
+    RUUMachine,
+    SimpleMachine,
+    cray_like_machine,
+)
+from repro.isa import FunctionalUnit
+from repro.limits import (
+    compute_limits,
+    pseudo_dataflow_schedule,
+    resource_limit,
+)
+
+from helpers import aadd, fadd, fmul, jan, loads, make_trace, si, stores
+
+
+class TestPseudoDataflow:
+    def test_pure_chain(self):
+        # si c1; fadd start1 c7; fadd start7 c13.
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 2, 2)])
+        schedule = pseudo_dataflow_schedule(trace, M11BR5)
+        assert schedule.makespan == 13
+        assert schedule.issue_rate_limit == pytest.approx(3 / 13)
+
+    def test_independent_work_is_free(self):
+        # Unlimited resources: any number of independent adds finish at 7.
+        items = [si(1)] + [fadd(i % 6 + 2, 1, 1) for i in range(4)]
+        trace = make_trace(items)
+        schedule = pseudo_dataflow_schedule(trace, M11BR5)
+        assert schedule.makespan == 7
+
+    def test_branch_serialises_iterations(self):
+        # Everything after a branch starts at its resolution.
+        trace = make_trace([jan(True), si(1)])
+        schedule = pseudo_dataflow_schedule(trace, M11BR5)
+        # branch resolves at 5; si runs 5..6.
+        assert schedule.makespan == 6
+        fast = pseudo_dataflow_schedule(trace, M5BR2)
+        assert fast.makespan == 3
+
+    def test_conditional_branch_waits_for_a0(self):
+        trace = make_trace([aadd(0, 0, 1), jan(True), si(1)])
+        schedule = pseudo_dataflow_schedule(trace, M11BR5)
+        # aadd c2; branch resolves 2+5=7; si c8.
+        assert schedule.makespan == 8
+
+    def test_memory_latency_only_on_dependent_paths(self):
+        trace = make_trace([loads(1, 1), si(2)])
+        slow = pseudo_dataflow_schedule(trace, M11BR5)
+        assert slow.makespan == 11  # the load is the critical path
+        fast = pseudo_dataflow_schedule(trace, M5BR2)
+        assert fast.makespan == 5
+
+    def test_serial_waw_forces_in_order_completion(self):
+        # Pure: si S2 completes at 1; serial: it cannot complete before
+        # the earlier fmul's write to S2 at 8, delaying the consumer.
+        trace = make_trace([si(1), fmul(2, 1, 1), si(2), fadd(3, 2, 2)])
+        pure = pseudo_dataflow_schedule(trace, M11BR5)
+        serial = pseudo_dataflow_schedule(trace, M11BR5, serial_waw=True)
+        assert pure.makespan == 8  # fmul 1..8; fadd reads new S2 at 1 -> 7
+        assert serial.makespan == 14  # fadd start 8 -> complete 14
+
+    def test_serial_flag_recorded(self):
+        trace = make_trace([si(1)])
+        assert pseudo_dataflow_schedule(trace, M11BR5).serial_waw is False
+        assert (
+            pseudo_dataflow_schedule(trace, M11BR5, serial_waw=True).serial_waw
+            is True
+        )
+
+
+class TestResourceLimit:
+    def test_bottleneck_unit(self):
+        trace = make_trace([loads(1, 1), loads(2, 1), loads(3, 1), fadd(4, 1, 1)])
+        bound = resource_limit(trace, M11BR5)
+        assert bound.bottleneck is FunctionalUnit.MEMORY
+        assert bound.makespan == 3 - 1 + 11
+        assert bound.issue_rate_limit == pytest.approx(4 / 13)
+
+    def test_fast_memory_shrinks_the_bound(self):
+        trace = make_trace([loads(1, 1), loads(2, 1), loads(3, 1), fadd(4, 1, 1)])
+        assert resource_limit(trace, M5BR2).makespan == 3 - 1 + 5
+
+    def test_stores_count_against_the_memory_port(self):
+        trace = make_trace([si(1), stores(1, 0), stores(1, 1)])
+        bound = resource_limit(trace, M11BR5)
+        assert bound.bottleneck is FunctionalUnit.MEMORY
+        assert bound.unit_times[FunctionalUnit.MEMORY] == 2 - 1 + 11
+
+
+class TestCombinedLimits:
+    def test_actual_is_the_binding_bound(self):
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 2, 2)])
+        limits = compute_limits(trace, M11BR5)
+        assert limits.actual_rate == min(
+            limits.pseudo_dataflow_rate, limits.resource_rate
+        )
+
+    def test_serial_never_exceeds_pure(self, small_traces, any_config):
+        for trace in small_traces.values():
+            pure = compute_limits(trace, any_config, serial=False)
+            serial = compute_limits(trace, any_config, serial=True)
+            assert serial.actual_rate <= pure.actual_rate + 1e-9
+
+    def test_limits_dominate_every_simulator(self, small_traces, any_config):
+        """The key Section 4 property: no machine beats the dataflow limit."""
+        simulators = [
+            SimpleMachine(),
+            cray_like_machine(),
+            InOrderMultiIssueMachine(8),
+            OutOfOrderMultiIssueMachine(8),
+            RUUMachine(4, 100),
+        ]
+        for trace in small_traces.values():
+            limit = compute_limits(trace, any_config).actual_rate
+            for sim in simulators:
+                rate = sim.issue_rate(trace, any_config)
+                assert rate <= limit * 1.0001, (sim.name, trace.name)
+
+    def test_serial_limit_dominates_issue_blocking_machines(
+        self, small_traces, any_config
+    ):
+        """In-order issue with WAW blocking can never beat the serial limit."""
+        cray = cray_like_machine()
+        for trace in small_traces.values():
+            limit = compute_limits(trace, any_config, serial=True).actual_rate
+            assert cray.issue_rate(trace, any_config) <= limit * 1.0001
+
+    def test_vector_loops_have_higher_pure_limits(self, small_traces):
+        from repro.harness import harmonic_mean
+        from repro.kernels import SCALAR_LOOPS, VECTORIZABLE_LOOPS
+
+        scalar = harmonic_mean(
+            compute_limits(small_traces[n], M11BR5).actual_rate
+            for n in SCALAR_LOOPS
+        )
+        vector = harmonic_mean(
+            compute_limits(small_traces[n], M11BR5).actual_rate
+            for n in VECTORIZABLE_LOOPS
+        )
+        assert vector > scalar

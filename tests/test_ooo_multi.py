@@ -1,0 +1,136 @@
+"""Exact-timing and invariant tests for out-of-order multiple issue."""
+
+import pytest
+
+from repro.core import (
+    BusKind,
+    InOrderMultiIssueMachine,
+    M5BR2,
+    M11BR5,
+    OutOfOrderMultiIssueMachine,
+    cray_like_machine,
+)
+
+from helpers import aadd, fadd, fmul, jan, loads, make_trace, si, stores
+
+
+class TestExactTiming:
+    def test_later_slot_overtakes_blocked_one(self):
+        # load@0 (S1 ready 11); fmul RAW-blocked till 11; the independent
+        # aadd may issue at 0 out of order.
+        trace = make_trace([loads(1, 1), fmul(2, 1, 1), aadd(2, 2, 1)])
+        # aadd writes A2 (no conflict with S registers).
+        ooo = OutOfOrderMultiIssueMachine(3)
+        ino = InOrderMultiIssueMachine(3)
+        # OOO: aadd@0 c2; fmul@11 c18 -> 18 cycles.
+        assert ooo.simulate(trace, M11BR5).cycles == 18
+        # In-order: aadd stuck behind fmul -> aadd@11 c13, fmul@11 c18.
+        assert ino.simulate(trace, M11BR5).cycles == 18
+        # The difference shows in issue timing; add a dependent consumer.
+        trace2 = make_trace(
+            [loads(1, 1), fmul(2, 1, 1), aadd(2, 2, 1), aadd(3, 2, 1)]
+        )
+        # OOO: aadd@0 c2, aadd3 (RAW on A2)@2 c4; in-order: both >= 11.
+        assert ooo.simulate(trace2, M11BR5).cycles == 18
+        assert ino.simulate(trace2, M11BR5).cycles == 18
+
+    def test_ooo_issue_rate_gain_is_real(self):
+        trace = make_trace([loads(1, 1), fmul(2, 1, 1), aadd(2, 2, 1)])
+        ooo = OutOfOrderMultiIssueMachine(3)
+        ino = InOrderMultiIssueMachine(3)
+        # Same total cycles here, but with a following buffer the early
+        # aadd frees the window sooner; measure on a longer stream.
+        stream = [loads(1, 1), fmul(2, 1, 1), aadd(2, 2, 1)] * 4
+        assert (
+            ooo.simulate(make_trace(stream), M11BR5).cycles
+            <= ino.simulate(make_trace(stream), M11BR5).cycles
+        )
+
+    def test_war_hazard_blocks_when_enforced(self):
+        # fmul reads S2 but is RAW-blocked on S1 until the load returns;
+        # the later si wants to overwrite S2 -> WAR on the unissued fmul.
+        trace = make_trace([loads(1, 1), fmul(3, 1, 2), si(2)])
+        strict = OutOfOrderMultiIssueMachine(3, enforce_war=True)
+        loose = OutOfOrderMultiIssueMachine(3, enforce_war=False)
+        # strict: si waits for fmul's issue at 11 -> c12; total 18.
+        # loose: si@0 c1; total still 18 (fmul dominates).
+        assert strict.simulate(trace, M11BR5).cycles == 18
+        assert loose.simulate(trace, M11BR5).cycles == 18
+        # Distinguish via a consumer of the new S2 value.
+        trace2 = make_trace([loads(1, 1), fmul(3, 1, 2), si(2), fadd(4, 2, 2)])
+        # loose: si@0, fadd@1 c7.  strict: si@11, fadd@12 c18.
+        assert loose.simulate(trace2, M11BR5).cycles == 18
+        assert strict.simulate(trace2, M11BR5).cycles == 18
+        # Compare issue-limited cycles with faster memory instead.
+        fast_strict = strict.simulate(trace2, M5BR2).cycles
+        fast_loose = loose.simulate(trace2, M5BR2).cycles
+        assert fast_loose <= fast_strict
+
+    def test_branch_barrier_blocks_following_slots(self):
+        # Buffer: [aadd A0, JAN(untaken), si].  The si cannot issue until
+        # the branch resolves at aadd-ready(2) + 5.
+        trace = make_trace([aadd(0, 0, 1), jan(False), si(1)])
+        ooo = OutOfOrderMultiIssueMachine(3)
+        assert ooo.simulate(trace, M11BR5).cycles == 8  # si@7 c8
+
+    def test_untaken_branch_still_gates_next_buffer(self):
+        # Single-slot buffers: the untaken branch must delay the next
+        # buffer to its resolution, exactly like the in-order machine.
+        trace = make_trace([aadd(0, 0, 1), jan(False), si(1)])
+        ooo = OutOfOrderMultiIssueMachine(1)
+        ino = InOrderMultiIssueMachine(1)
+        assert (
+            ooo.simulate(trace, M11BR5).cycles
+            == ino.simulate(trace, M11BR5).cycles
+            == 8
+        )
+
+    def test_store_completion_counted(self):
+        trace = make_trace([si(1), stores(1, 0)])
+        ooo = OutOfOrderMultiIssueMachine(2)
+        # si@0 c1; store reads S1@1, issues@1, completes 12.
+        assert ooo.simulate(trace, M11BR5).cycles == 12
+
+
+class TestInvariants:
+    def test_matches_inorder_at_one_station(self, small_traces, any_config):
+        ooo = OutOfOrderMultiIssueMachine(1)
+        ino = InOrderMultiIssueMachine(1)
+        for trace in small_traces.values():
+            assert ooo.simulate(trace, any_config).cycles == ino.simulate(
+                trace, any_config
+            ).cycles
+
+    def test_ooo_never_slower_than_inorder(self, small_traces):
+        """The paper's Tables 5/6 vs 3/4: OOO issue is a strict refinement."""
+        for n in (2, 4, 8):
+            ooo = OutOfOrderMultiIssueMachine(n)
+            ino = InOrderMultiIssueMachine(n)
+            for trace in small_traces.values():
+                assert (
+                    ooo.issue_rate(trace, M11BR5)
+                    >= ino.issue_rate(trace, M11BR5) - 1e-9
+                )
+
+    def test_rate_bounded_by_stations(self, small_traces, any_config):
+        sim = OutOfOrderMultiIssueMachine(4)
+        for trace in small_traces.values():
+            assert sim.issue_rate(trace, any_config) <= 4
+
+    def test_war_relaxation_changes_little(self, small_traces):
+        """Greedy issue is not monotone under constraint relaxation (an
+        earlier issue can steal a unit slot from a more critical op), so
+        dropping WAR enforcement may swing either way -- but only
+        slightly.  This pins the ablation's magnitude."""
+        strict = OutOfOrderMultiIssueMachine(4, enforce_war=True)
+        loose = OutOfOrderMultiIssueMachine(4, enforce_war=False)
+        for trace in small_traces.values():
+            r_strict = strict.issue_rate(trace, M11BR5)
+            r_loose = loose.issue_rate(trace, M11BR5)
+            assert abs(r_loose - r_strict) / r_strict < 0.10
+
+    def test_validation_and_name(self):
+        with pytest.raises(ValueError):
+            OutOfOrderMultiIssueMachine(0)
+        assert "x4" in OutOfOrderMultiIssueMachine(4).name
+        assert "no-WAR" in OutOfOrderMultiIssueMachine(4, enforce_war=False).name

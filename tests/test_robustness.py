@@ -1,0 +1,118 @@
+"""Robustness suite: degenerate traces and extreme configurations.
+
+Every machine must produce sane results on single-instruction traces,
+branch-only streams, and extreme (but legal) latency configurations --
+the cases a cycle-accurate model most easily gets off-by-one wrong.
+"""
+
+import pytest
+
+from repro.core import (
+    CDC6600Machine,
+    InOrderMultiIssueMachine,
+    MachineConfig,
+    OutOfOrderMultiIssueMachine,
+    RUUMachine,
+    SimpleMachine,
+    TomasuloMachine,
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+from repro.limits import compute_limits
+
+from helpers import aadd, fadd, jan, jmp, loads, make_trace, si, stores
+
+ALL_MACHINES = [
+    SimpleMachine(),
+    serial_memory_machine(),
+    non_segmented_machine(),
+    cray_like_machine(),
+    CDC6600Machine(),
+    TomasuloMachine(),
+    InOrderMultiIssueMachine(4),
+    OutOfOrderMultiIssueMachine(4),
+    RUUMachine(4, 20),
+]
+
+M11BR5 = MachineConfig(11, 5)
+
+
+def _ids(machine):
+    return machine.name
+
+
+@pytest.mark.parametrize("machine", ALL_MACHINES, ids=_ids)
+class TestDegenerateTraces:
+    def test_single_transfer(self, machine):
+        result = machine.simulate(make_trace([si(1)]), M11BR5)
+        assert result.instructions == 1
+        assert 1 <= result.cycles <= 4
+
+    def test_single_load(self, machine):
+        result = machine.simulate(make_trace([loads(1, 1)]), M11BR5)
+        assert result.cycles >= 11
+
+    def test_single_store(self, machine):
+        trace = make_trace([si(1), stores(1, 1)])
+        result = machine.simulate(trace, M11BR5)
+        assert result.cycles >= 12
+
+    def test_single_taken_branch(self, machine):
+        result = machine.simulate(make_trace([jan(True)]), M11BR5)
+        assert result.cycles >= 5
+
+    def test_branch_only_stream(self, machine):
+        trace = make_trace([jan(True)] * 10)
+        result = machine.simulate(trace, M11BR5)
+        # Branches serialise at branch-latency spacing on every model.
+        assert result.cycles >= 10 * 5 - 5
+
+    def test_unconditional_branches(self, machine):
+        trace = make_trace([jmp(), si(1), jmp(), si(2)])
+        result = machine.simulate(trace, M11BR5)
+        assert result.instructions == 4
+
+    def test_long_dependence_chain(self, machine):
+        items = [si(1)] + [fadd(1, 1, 1) for _ in range(30)]
+        result = machine.simulate(make_trace(items), M11BR5)
+        # 30 chained FADDs cannot beat 6 cycles each.
+        assert result.cycles >= 30 * 6
+
+    def test_unit_latency_config(self, machine):
+        config = MachineConfig(memory_latency=1, branch_latency=1)
+        trace = make_trace([si(1), loads(2, 1), fadd(3, 2, 2), jan(False)])
+        result = machine.simulate(trace, config)
+        assert result.cycles >= 4
+
+    def test_huge_memory_latency(self, machine):
+        config = MachineConfig(memory_latency=500, branch_latency=5)
+        trace = make_trace([loads(1, 1), fadd(2, 1, 1)])
+        result = machine.simulate(trace, config)
+        assert result.cycles >= 506
+
+    def test_limits_dominate_on_degenerate_traces(self, machine):
+        for items in (
+            [si(1)],
+            [jan(True)] * 4,
+            [loads(1, 1), fadd(2, 1, 1), stores(2, 1)],
+        ):
+            trace = make_trace(items)
+            limit = compute_limits(trace, M11BR5).actual_rate
+            assert machine.issue_rate(trace, M11BR5) <= limit * 1.0001
+
+
+class TestPaperSaturationClaims:
+    def test_ruu_beyond_four_issue_units_changes_little(self, small_traces):
+        """Paper: 'having more than 4 issue units did not make a
+        significant difference.'"""
+        for trace in small_traces.values():
+            four = RUUMachine(4, 50).issue_rate(trace, M11BR5)
+            eight = RUUMachine(8, 50).issue_rate(trace, M11BR5)
+            assert abs(eight - four) / four < 0.10
+
+    def test_inorder_beyond_eight_stations_changes_nothing(self, small_traces):
+        for trace in list(small_traces.values())[:5]:
+            eight = InOrderMultiIssueMachine(8).issue_rate(trace, M11BR5)
+            sixteen = InOrderMultiIssueMachine(16).issue_rate(trace, M11BR5)
+            assert abs(sixteen - eight) / eight < 0.08

@@ -1,0 +1,48 @@
+"""Tests for the command-line table runner."""
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.tables import ResultTable
+
+
+def test_rejects_unknown_table(capsys):
+    with pytest.raises(SystemExit):
+        runner.main(["table99"])
+
+
+def test_runs_a_table(monkeypatch, capsys):
+    fake = ResultTable(
+        table_id="table1",
+        title="fake table",
+        columns=("M11BR5",),
+        rows=(("scalar/CRAY-like", {"M11BR5": 0.25}),),
+    )
+    monkeypatch.setitem(runner.EXPERIMENTS, "table1", lambda: fake)
+    assert runner.main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "fake table" in out
+    assert "0.25" in out
+
+
+def test_compare_prints_paper_numbers(monkeypatch, capsys):
+    fake = ResultTable(
+        table_id="table1",
+        title="fake table",
+        columns=("M11BR5",),
+        rows=(("scalar/CRAY-like", {"M11BR5": 0.25}),),
+    )
+    monkeypatch.setitem(runner.EXPERIMENTS, "table1", lambda: fake)
+    assert runner.main(["table1", "--compare"]) == 0
+    out = capsys.readouterr().out
+    assert "Paper Table 1" in out
+    assert "relative deviation" in out
+
+
+def test_section33(monkeypatch, capsys):
+    monkeypatch.setattr(
+        runner, "section33", lambda: {"scalar": 0.6, "vectorizable": 0.7}
+    )
+    assert runner.main(["section33"]) == 0
+    out = capsys.readouterr().out
+    assert "0.60" in out and "paper 0.72" in out

@@ -1,0 +1,114 @@
+"""Exact-timing and invariant tests for the single-issue scoreboard machines."""
+
+import pytest
+
+from repro.core import (
+    M5BR2,
+    M11BR5,
+    SimpleMachine,
+    cray_like_machine,
+    non_segmented_machine,
+    serial_memory_machine,
+)
+
+from helpers import aadd, fadd, fmul, jan, loads, make_trace, si
+
+
+class TestCrayLikeExactTiming:
+    def setup_method(self):
+        self.sim = cray_like_machine()
+
+    def test_raw_stall(self):
+        # si@0 (ready 1), si@1 (ready 2), fadd@2 (ready 8), fmul@8 (ready 15)
+        trace = make_trace([si(1), si(2), fadd(3, 1, 2), fmul(4, 3, 3)])
+        assert self.sim.simulate(trace, M11BR5).cycles == 15
+
+    def test_waw_stall(self):
+        # si@0 c1; fadd S3@1 c7; si S3 blocked by WAW until 7 -> c8.
+        trace = make_trace([si(1), fadd(3, 1, 1), si(3)])
+        assert self.sim.simulate(trace, M11BR5).cycles == 8
+
+    def test_pipelined_fu_accepts_every_cycle(self):
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        # si@0; fadd@1 c7; fadd@2 c8 (pipelined FP add unit)
+        assert self.sim.simulate(trace, M11BR5).cycles == 8
+
+    def test_interleaved_memory(self):
+        trace = make_trace([loads(1, 1), loads(2, 1)])
+        # load@0 c11; load@1 c12
+        assert self.sim.simulate(trace, M11BR5).cycles == 12
+
+    def test_branch_blocks_issue(self):
+        # aadd A0@0 (ready 2); JAN waits for A0 -> issue@2, resolve 7;
+        # si@7 c8.
+        trace = make_trace([aadd(0, 0, 1), jan(True), si(1)])
+        assert self.sim.simulate(trace, M11BR5).cycles == 8
+
+    def test_fast_branch(self):
+        trace = make_trace([aadd(0, 0, 1), jan(True), si(1)])
+        # branch@2 resolves at 4; si@4 c5.
+        assert self.sim.simulate(trace, M5BR2).cycles == 5
+
+    def test_store_waits_for_data(self):
+        from helpers import stores
+
+        trace = make_trace([si(1), fadd(2, 1, 1), stores(2, 0)])
+        # fadd@1 c7; store reads S2 -> issue@7, completes 7+11=18.
+        assert self.sim.simulate(trace, M11BR5).cycles == 18
+
+
+class TestNonPipelinedVariants:
+    def test_serial_memory_blocks_second_load(self):
+        sim = serial_memory_machine()
+        trace = make_trace([loads(1, 1), loads(2, 1)])
+        # load@0 busy till 11; load@11 c22.
+        assert sim.simulate(trace, M11BR5).cycles == 22
+
+    def test_non_segmented_memory_is_interleaved(self):
+        sim = non_segmented_machine()
+        trace = make_trace([loads(1, 1), loads(2, 1)])
+        assert sim.simulate(trace, M11BR5).cycles == 12
+
+    def test_non_segmented_fu_is_busy_for_whole_latency(self):
+        sim = non_segmented_machine()
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        # fadd@1 busy till 7; fadd@7 c13.
+        assert sim.simulate(trace, M11BR5).cycles == 13
+
+    def test_single_cycle_units_unaffected_by_pipelining_flag(self):
+        sim = serial_memory_machine()
+        trace = make_trace([si(1), si(2), si(3)])
+        assert sim.simulate(trace, M11BR5).cycles == 3
+
+    def test_names(self):
+        assert serial_memory_machine().name == "SerialMemory"
+        assert non_segmented_machine().name == "NonSegmented"
+        assert cray_like_machine().name == "CRAY-like"
+
+
+class TestPaperOrderings:
+    """Table 1's machine ordering must hold on every loop and variant."""
+
+    def test_machine_ordering(self, small_traces, any_config):
+        simple = SimpleMachine()
+        serial = serial_memory_machine()
+        nonseg = non_segmented_machine()
+        cray = cray_like_machine()
+        for trace in small_traces.values():
+            r_simple = simple.issue_rate(trace, any_config)
+            r_serial = serial.issue_rate(trace, any_config)
+            r_nonseg = nonseg.issue_rate(trace, any_config)
+            r_cray = cray.issue_rate(trace, any_config)
+            assert r_simple <= r_serial + 1e-9
+            assert r_serial <= r_nonseg + 1e-9
+            assert r_nonseg <= r_cray + 1e-9
+
+    def test_faster_memory_and_branch_help(self, small_traces):
+        cray = cray_like_machine()
+        for trace in small_traces.values():
+            assert cray.issue_rate(trace, M5BR2) >= cray.issue_rate(trace, M11BR5)
+
+    def test_single_issue_rate_below_one(self, small_traces, any_config):
+        cray = cray_like_machine()
+        for trace in small_traces.values():
+            assert cray.issue_rate(trace, any_config) < 1.0

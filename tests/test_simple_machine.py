@@ -1,0 +1,62 @@
+"""Exact-timing tests for the Simple (serial) machine."""
+
+import pytest
+
+from repro.core import M5BR2, M11BR5, SimpleMachine
+
+from helpers import fadd, jan, loads, make_trace, si
+
+
+@pytest.fixture
+def sim():
+    return SimpleMachine()
+
+
+class TestExactTiming:
+    def test_single_transfer(self, sim):
+        # issue at 0, execute 1..2 (latency 1): 2 cycles total.
+        result = sim.simulate(make_trace([si(1)]), M11BR5)
+        assert result.cycles == 2
+
+    def test_two_stage_overlap(self, sim):
+        # i0: issue 0, exec 1..2.  i1: issue 1, exec 2..8 (FADD latency 6).
+        result = sim.simulate(make_trace([si(1), fadd(2, 1, 1)]), M11BR5)
+        assert result.cycles == 8
+
+    def test_serialises_independent_work(self, sim):
+        # Even independent FP adds cannot overlap in the execute stage.
+        trace = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        result = sim.simulate(trace, M11BR5)
+        assert result.cycles == 8 + 6
+
+    def test_memory_latency_dominates(self, sim):
+        trace = make_trace([loads(1, 0), loads(2, 0)])
+        assert sim.simulate(trace, M11BR5).cycles == 1 + 11 + 11
+        assert sim.simulate(trace, M5BR2).cycles == 1 + 5 + 5
+
+    def test_branch_execution_time(self, sim):
+        trace = make_trace([si(1), jan(True)])
+        # si: issue 0 exec 1..2; branch: issue 1, exec 2..7 (5 cycles).
+        assert sim.simulate(trace, M11BR5).cycles == 7
+        assert sim.simulate(trace, M5BR2).cycles == 4
+
+    def test_issue_rate_reported(self, sim):
+        result = sim.simulate(make_trace([si(1), fadd(2, 1, 1)]), M11BR5)
+        assert result.issue_rate == pytest.approx(2 / 8)
+        assert result.simulator == "Simple"
+
+
+class TestInvariants:
+    def test_never_faster_than_one_per_latency(self, sim, small_traces, any_config):
+        for trace in small_traces.values():
+            rate = sim.issue_rate(trace, any_config)
+            assert 0 < rate < 1.0
+
+    def test_no_dependence_sensitivity(self, sim):
+        """The Simple machine is blind to dependences: same latencies, same time."""
+        dependent = make_trace([si(1), fadd(2, 1, 1), fadd(3, 2, 2)])
+        independent = make_trace([si(1), fadd(2, 1, 1), fadd(3, 1, 1)])
+        assert (
+            sim.simulate(dependent, M11BR5).cycles
+            == sim.simulate(independent, M11BR5).cycles
+        )

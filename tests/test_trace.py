@@ -1,0 +1,161 @@
+"""Unit tests for the trace layer: records, stats, generation, caching."""
+
+import pytest
+
+from repro.asm import Memory, ProgramBuilder
+from repro.isa import A, A0, FunctionalUnit, Instruction, Opcode, S
+from repro.trace import (
+    Trace,
+    TraceCache,
+    TraceEntry,
+    format_stats,
+    generate_trace,
+    generate_trace_with_result,
+    trace_stats,
+)
+
+from helpers import fadd, jan, loads, make_trace, si
+
+
+class TestTraceEntry:
+    def test_branch_requires_outcome(self):
+        branch = Instruction(Opcode.JAN, None, (A0,), target="x")
+        with pytest.raises(ValueError):
+            TraceEntry(seq=0, static_index=0, instruction=branch, taken=None)
+
+    def test_non_branch_rejects_outcome(self):
+        instr = Instruction(Opcode.PASS, None, ())
+        with pytest.raises(ValueError):
+            TraceEntry(seq=0, static_index=0, instruction=instr, taken=True)
+
+    def test_is_branch(self):
+        entry = TraceEntry(
+            seq=0,
+            static_index=0,
+            instruction=Instruction(Opcode.JMP, None, (), target="x"),
+            taken=True,
+        )
+        assert entry.is_branch
+
+
+class TestTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(name="empty", entries=())
+
+    def test_sequence_numbers_checked(self):
+        entry = TraceEntry(
+            seq=5, static_index=0, instruction=Instruction(Opcode.PASS, None, ())
+        )
+        with pytest.raises(ValueError):
+            Trace(name="bad", entries=(entry,))
+
+    def test_len_iter_getitem(self):
+        trace = make_trace([si(1), fadd(2, 1, 1)])
+        assert len(trace) == 2
+        assert trace[1].instruction.opcode is Opcode.FADD
+        assert [e.seq for e in trace] == [0, 1]
+
+    def test_branch_count(self):
+        trace = make_trace([si(1), jan(True), jan(False)])
+        assert trace.branch_count == 2
+
+
+class TestStats:
+    def test_counts(self):
+        trace = make_trace(
+            [si(1), loads(2, 0), fadd(3, 1, 2), jan(True), jan(False)]
+        )
+        stats = trace_stats(trace)
+        assert stats.total == 5
+        assert stats.loads == 1
+        assert stats.stores == 0
+        assert stats.branches == 2
+        assert stats.taken_branches == 1
+        assert stats.by_unit[FunctionalUnit.FP_ADD] == 1
+        assert stats.memory_fraction == pytest.approx(0.2)
+        assert stats.unit_fraction(FunctionalUnit.BRANCH) == pytest.approx(0.4)
+
+    def test_mean_parcels(self):
+        trace = make_trace([si(1), fadd(2, 1, 1)])  # 2 + 1 parcels
+        assert trace_stats(trace).mean_parcels == pytest.approx(1.5)
+
+    def test_format_is_readable(self):
+        trace = make_trace([si(1), loads(2, 0)])
+        text = format_stats(trace_stats(trace))
+        assert "memory references" in text
+        assert "2 dynamic instructions" in text
+
+
+class TestGeneration:
+    def _program(self):
+        b = ProgramBuilder("gen")
+        b.ai(A(0), 2)
+        b.label("loop")
+        b.asub(A(0), A(0), 1)
+        b.jan("loop")
+        return b.build()
+
+    def test_generate_trace(self):
+        trace = generate_trace(self._program(), Memory(8))
+        assert len(trace) == 5
+        assert trace.name == "gen"
+        assert trace[2].taken is True
+        assert trace[4].taken is False
+
+    def test_generate_with_result(self):
+        trace, result = generate_trace_with_result(self._program(), Memory(8))
+        assert result.steps == len(trace)
+        assert result.registers[A(0)] == 0
+
+    def test_custom_name(self):
+        trace = generate_trace(self._program(), Memory(8), name="renamed")
+        assert trace.name == "renamed"
+
+
+class TestCache:
+    def test_get_or_build_builds_once(self):
+        cache = TraceCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return make_trace([si(1)])
+
+        a = cache.get_or_build(("k",), build)
+        b = cache.get_or_build(("k",), build)
+        assert a is b
+        assert len(calls) == 1
+        assert len(cache) == 1
+
+    def test_peek_and_clear(self):
+        cache = TraceCache()
+        assert cache.peek(("missing",)) is None
+        cache.get_or_build(("k",), lambda: make_trace([si(1)]))
+        assert cache.peek(("k",)) is not None
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestVectorStats:
+    def test_vector_counts(self):
+        from repro.kernels.vectorized import build_vectorized
+
+        instance = build_vectorized(12, 128)
+        stats = trace_stats(instance.verify())
+        assert stats.vector_instructions > 0
+        # Two vloads + one vvsub + one vstore per strip stream every
+        # element: 4 vector ops x 128 elements.
+        assert stats.vector_elements == 4 * 128
+        assert stats.loads > 0 and stats.stores > 0
+
+    def test_scalar_traces_report_zero_vector_work(self, loop5_trace):
+        stats = trace_stats(loop5_trace)
+        assert stats.vector_instructions == 0
+        assert stats.vector_elements == 0
+
+    def test_format_mentions_vector_work(self):
+        from repro.kernels.vectorized import build_vectorized
+
+        stats = trace_stats(build_vectorized(12, 64).verify())
+        assert "elements" in format_stats(stats)

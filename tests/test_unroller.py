@@ -1,0 +1,130 @@
+"""Tests for the loop unroller."""
+
+import pytest
+
+from repro.asm import Memory, ProgramBuilder, run
+from repro.asm.unroller import (
+    CountedLoop,
+    UnrollError,
+    find_counted_loops,
+    unroll_innermost,
+    unroll_loop,
+)
+from repro.core import M11BR5, RUUMachine
+from repro.isa import A, S
+from repro.kernels import build_kernel
+from repro.limits import compute_limits
+
+
+def counted_sum(n: int) -> ProgramBuilder:
+    b = ProgramBuilder("sum")
+    b.si(S(1), 0.0)
+    b.si(S(2), 1.0)
+    b.ai(A(0), n)
+    b.label("loop")
+    b.fadd(S(1), S(1), S(2))
+    b.asub(A(0), A(0), 1)
+    b.jan("loop")
+    b.ai(A(1), 0)
+    b.stores(S(1), A(1), 4)
+    return b
+
+
+class TestLoopDiscovery:
+    def test_finds_the_loop(self):
+        program = counted_sum(8).build()
+        loops = find_counted_loops(program)
+        assert len(loops) == 1
+        assert loops[0].label == "loop"
+        assert loops[0].body_length == 2
+
+    def test_forward_branches_are_not_loops(self):
+        b = ProgramBuilder("fwd")
+        b.ai(A(0), 0)
+        b.jaz("skip")
+        b.pass_()
+        b.label("skip")
+        b.pass_()
+        assert find_counted_loops(b.build()) == []
+
+    def test_nested_loops_only_clean_bodies(self):
+        # The outer loop's body contains the inner branch -> not clean.
+        program = build_kernel(6, 8, schedule=False).program
+        loops = find_counted_loops(program)
+        assert [l.label for l in loops] == ["inner"]
+
+
+class TestUnrollSemantics:
+    @pytest.mark.parametrize("factor", [1, 2, 4])
+    def test_counted_sum_preserved(self, factor):
+        program = counted_sum(8).build()
+        unrolled = unroll_innermost(program, factor) if factor > 1 else program
+        memory = Memory(16)
+        run(unrolled, memory)
+        assert memory.read(4) == 8.0
+
+    def test_instruction_count(self):
+        program = counted_sum(8).build()
+        unrolled = unroll_innermost(program, 3)
+        # body of 2 instructions gains 2 copies: +4 instructions.
+        assert len(unrolled) == len(program) + 4
+
+    def test_dynamic_branch_count_shrinks(self):
+        from repro.trace import generate_trace
+
+        program = counted_sum(8).build()
+        unrolled = unroll_innermost(program, 4)
+        base = generate_trace(program, Memory(16))
+        less = generate_trace(unrolled, Memory(16))
+        assert base.branch_count == 8
+        assert less.branch_count == 2
+
+    def test_labels_after_loop_shift(self):
+        b = counted_sum(8)
+        b.label("end")
+        program = b.build()
+        unrolled = unroll_innermost(program, 2)
+        assert unrolled.labels["end"] == program.labels["end"] + 2
+        assert unrolled.labels["loop"] == program.labels["loop"]
+
+    @pytest.mark.parametrize("number,n", [(1, 32), (5, 17), (11, 33), (12, 32)])
+    def test_kernels_verify_when_divisible(self, number, n):
+        build_kernel(number, n, unroll=2).verify()
+
+    def test_factor_one_is_identity(self):
+        program = counted_sum(8).build()
+        loop = find_counted_loops(program)[0]
+        assert unroll_loop(program, loop, 1) is program
+
+    def test_errors(self):
+        program = counted_sum(8).build()
+        loop = find_counted_loops(program)[0]
+        with pytest.raises(UnrollError):
+            unroll_loop(program, loop, 0)
+        b = ProgramBuilder("none")
+        b.pass_()
+        with pytest.raises(UnrollError):
+            unroll_innermost(b.build(), 2)
+
+
+class TestUnrollPerformance:
+    def test_raises_dataflow_limit_of_branch_limited_loop(self):
+        """The paper's Section 4 remark, made quantitative."""
+        base = build_kernel(12, 64).verify()
+        unrolled = build_kernel(12, 64, unroll=4).verify()
+        lim_base = compute_limits(base, M11BR5).actual_rate
+        lim_unrolled = compute_limits(unrolled, M11BR5).actual_rate
+        assert lim_unrolled > lim_base * 1.3
+
+    def test_does_not_help_a_recurrence(self):
+        base = build_kernel(5, 33).verify()
+        unrolled = build_kernel(5, 33, unroll=4).verify()
+        lim_base = compute_limits(base, M11BR5).actual_rate
+        lim_unrolled = compute_limits(unrolled, M11BR5).actual_rate
+        assert lim_unrolled < lim_base * 1.05
+
+    def test_ruu_exploits_the_unrolled_parallelism(self):
+        ruu = RUUMachine(4, 100)
+        base = build_kernel(12, 64).verify()
+        unrolled = build_kernel(12, 64, unroll=4).verify()
+        assert ruu.issue_rate(unrolled, M11BR5) > ruu.issue_rate(base, M11BR5)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.core import (
+    M11BR5,
+    OutOfOrderMultiIssueMachine,
+    RUUMachine,
+    cray_like_machine,
+)
+from repro.limits import compute_limits
+from repro.trace import trace_stats
+from repro.workloads import SyntheticSpec, build_synthetic, synthetic_trace
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = SyntheticSpec(seed=3)
+        a = build_synthetic(spec)
+        b = build_synthetic(spec)
+        assert [str(i) for i in a] == [str(i) for i in b]
+
+    def test_different_seeds_differ(self):
+        a = build_synthetic(SyntheticSpec(seed=1))
+        b = build_synthetic(SyntheticSpec(seed=2))
+        assert [str(i) for i in a] != [str(i) for i in b]
+
+    def test_trace_length(self):
+        spec = SyntheticSpec(body_ops=10, iterations=20, loop_carried=True)
+        trace = synthetic_trace(spec)
+        # prologue + (body + 3 control) * iterations
+        assert len(trace) == spec.chains + 2 + (10 + 3) * 20
+
+    def test_memory_fraction_respected(self):
+        spec = SyntheticSpec(
+            body_ops=64, memory_fraction=0.5, iterations=30, seed=5
+        )
+        stats = trace_stats(synthetic_trace(spec))
+        assert 0.30 < stats.memory_fraction < 0.55
+
+    def test_zero_memory_fraction(self):
+        spec = SyntheticSpec(memory_fraction=0.0, iterations=10)
+        stats = trace_stats(synthetic_trace(spec))
+        assert stats.memory_references == 0
+
+    def test_values_stay_bounded(self):
+        # FADD/FSUB random walk over [-1, 1] inputs: finite by design.
+        spec = SyntheticSpec(body_ops=32, iterations=200, seed=9)
+        synthetic_trace(spec)  # the interpreter rejects non-finite stores
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"body_ops": 0},
+            {"memory_fraction": 1.5},
+            {"chains": 0},
+            {"chains": 5},
+            {"iterations": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticSpec(**kwargs)
+
+    def test_name_encodes_spec(self):
+        name = SyntheticSpec(body_ops=8, chains=3, loop_carried=False).name
+        assert "b8" in name and "c3" in name and "par" in name
+
+
+class TestWorkloadCharacteristicsDriveTiming:
+    def test_fewer_chains_means_lower_limit(self):
+        deep = synthetic_trace(
+            SyntheticSpec(chains=1, memory_fraction=0.0, iterations=40)
+        )
+        wide = synthetic_trace(
+            SyntheticSpec(chains=4, memory_fraction=0.0, iterations=40)
+        )
+        limit_deep = compute_limits(deep, M11BR5).actual_rate
+        limit_wide = compute_limits(wide, M11BR5).actual_rate
+        assert limit_wide > limit_deep
+
+    def test_recurrence_caps_the_ruu(self):
+        carried = synthetic_trace(
+            SyntheticSpec(chains=1, loop_carried=True, iterations=40, seed=4)
+        )
+        restarted = synthetic_trace(
+            SyntheticSpec(chains=1, loop_carried=False, iterations=40, seed=4)
+        )
+        ruu = RUUMachine(4, 50)
+        assert ruu.issue_rate(restarted, M11BR5) > ruu.issue_rate(
+            carried, M11BR5
+        )
+
+    def test_memory_heavy_code_suffers_on_slow_memory(self):
+        from repro.core import M5BR5
+
+        heavy = synthetic_trace(
+            SyntheticSpec(memory_fraction=0.8, iterations=40, seed=2)
+        )
+        cray = cray_like_machine()
+        assert cray.issue_rate(heavy, M5BR5) > cray.issue_rate(heavy, M11BR5)
+
+    def test_machines_respect_limits_on_synthetic_code(self):
+        for seed in range(4):
+            trace = synthetic_trace(SyntheticSpec(seed=seed, iterations=25))
+            limit = compute_limits(trace, M11BR5).actual_rate
+            for sim in (
+                cray_like_machine(),
+                OutOfOrderMultiIssueMachine(4),
+                RUUMachine(4, 50),
+            ):
+                assert sim.issue_rate(trace, M11BR5) <= limit * 1.0001
