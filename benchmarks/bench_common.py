@@ -5,38 +5,36 @@ problem size inside ``pytest-benchmark`` (single round -- the quantity of
 interest is the table itself plus how long regeneration takes), prints the
 measured table next to the paper's reported numbers, and archives both in
 ``benchmarks/results/``.
+
+All experiment execution goes through :mod:`repro.api`.  The benchmarks
+run with the persistent cache disabled so the timing always reflects real
+simulation work, not cache reads.
 """
 
 from __future__ import annotations
 
 import pathlib
 
-from repro.harness import PAPER_TABLES, compare_tables, relative_error
+import repro.api as api
 from repro.harness.tables import ResultTable
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
-def run_table_benchmark(benchmark, table_id: str, build) -> ResultTable:
+def run_table_benchmark(benchmark, table_id: str) -> ResultTable:
     """Regenerate a paper table under the benchmark harness and archive it."""
-    measured: ResultTable = benchmark.pedantic(
-        build, rounds=1, iterations=1, warmup_rounds=0
+    run: api.TableRun = benchmark.pedantic(
+        lambda: api.run_table(
+            table_id, compare=True, workers=1, cache=False
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
     )
-    reference = PAPER_TABLES[table_id]
-
-    lines = [measured.render(), "", reference.render()]
-    pairs = compare_tables(measured, reference)
-    if pairs:
-        errors = [relative_error(m, r) for _, _, m, r in pairs]
-        mean_abs = sum(abs(e) for e in errors) / len(errors)
-        lines.append(
-            f"\n[{len(pairs)} comparable cells; mean |relative deviation| "
-            f"vs paper = {mean_abs:.1%}]"
-        )
-    report = "\n".join(lines)
+    report = run.render_report(compare=True)
 
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{table_id}.txt").write_text(report + "\n")
     print()
     print(report)
-    return measured
+    return run.table

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table1.py --benchmark-only -s
 """
 
-from repro.harness import table1
-
 from bench_common import run_table_benchmark
 
 
 def test_table1(benchmark):
     """Table 1 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table1", table1)
+    measured = run_table_benchmark(benchmark, "table1")
     assert measured.rows

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
 """
 
-from repro.harness import table2
-
 from bench_common import run_table_benchmark
 
 
 def test_table2(benchmark):
     """Table 2 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table2", table2)
+    measured = run_table_benchmark(benchmark, "table2")
     assert measured.rows

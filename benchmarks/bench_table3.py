@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table3.py --benchmark-only -s
 """
 
-from repro.harness import table3
-
 from bench_common import run_table_benchmark
 
 
 def test_table3(benchmark):
     """Table 3 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table3", table3)
+    measured = run_table_benchmark(benchmark, "table3")
     assert measured.rows

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table4.py --benchmark-only -s
 """
 
-from repro.harness import table4
-
 from bench_common import run_table_benchmark
 
 
 def test_table4(benchmark):
     """Table 4 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table4", table4)
+    measured = run_table_benchmark(benchmark, "table4")
     assert measured.rows

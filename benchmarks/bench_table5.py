@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table5.py --benchmark-only -s
 """
 
-from repro.harness import table5
-
 from bench_common import run_table_benchmark
 
 
 def test_table5(benchmark):
     """Table 5 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table5", table5)
+    measured = run_table_benchmark(benchmark, "table5")
     assert measured.rows

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table6.py --benchmark-only -s
 """
 
-from repro.harness import table6
-
 from bench_common import run_table_benchmark
 
 
 def test_table6(benchmark):
     """Table 6 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table6", table6)
+    measured = run_table_benchmark(benchmark, "table6")
     assert measured.rows

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table7.py --benchmark-only -s
 """
 
-from repro.harness import table7
-
 from bench_common import run_table_benchmark
 
 
 def test_table7(benchmark):
     """Table 7 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table7", table7)
+    measured = run_table_benchmark(benchmark, "table7")
     assert measured.rows

@@ -3,12 +3,10 @@
 Run:  pytest benchmarks/bench_table8.py --benchmark-only -s
 """
 
-from repro.harness import table8
-
 from bench_common import run_table_benchmark
 
 
 def test_table8(benchmark):
     """Table 8 at full problem size, archived under benchmarks/results/."""
-    measured = run_table_benchmark(benchmark, "table8", table8)
+    measured = run_table_benchmark(benchmark, "table8")
     assert measured.rows

@@ -14,9 +14,22 @@ The package is organised bottom-up:
   and out-of-order multi-issue, RUU dependency resolution);
 * :mod:`repro.limits`  -- pseudo-dataflow / resource / serial limits;
 * :mod:`repro.harness` -- experiments regenerating Tables 1-8, paper data
-  and comparison machinery.
+  and comparison machinery (cell plans + the parallel engine);
+* :mod:`repro.api`     -- the one public facade: ``run_table``,
+  ``simulate``, ``limits``, ``list_machines`` and friends, with process
+  fan-out and a persistent result store underneath.
 
 Quickstart::
+
+    import repro
+
+    run = repro.run_table("table1", workers=4)   # parallel + cached
+    print(run.render_report())
+
+    result = repro.simulate(5, "ruu:2:50")       # loop 5 on one machine
+    print(result.issue_rate)
+
+Lower-level building blocks stay importable::
 
     from repro import build_kernel, cray_like_machine, M11BR5
 
@@ -26,8 +39,20 @@ Quickstart::
     print(result.issue_rate)
 """
 
+# ``repro.api`` is the facade; its table/kernel entry points are also
+# re-exported at top level (``api.limits`` stays namespaced to avoid
+# shadowing the :mod:`repro.limits` subpackage).
+from . import api
+from .api import (
+    TableRun,
+    list_machines,
+    list_tables,
+    run_table,
+    simulate,
+)
 from .core import (
     BusKind,
+    UnknownSpecError,
     InOrderMultiIssueMachine,
     M5BR2,
     M5BR5,
@@ -56,7 +81,11 @@ from .kernels import (
     build_kernel,
     classify,
 )
-from .limits import compute_limits, pseudo_dataflow_schedule, resource_limit
+from .limits import (
+    compute_limits,
+    pseudo_dataflow_schedule,
+    resource_limit,
+)
 from .trace import Trace, TraceEntry, generate_trace, trace_stats
 
 __version__ = "1.0.0"
@@ -79,11 +108,18 @@ __all__ = [
     "SimpleMachine",
     "SimulationResult",
     "Simulator",
+    "TableRun",
     "Trace",
     "TraceEntry",
+    "UnknownSpecError",
     "VECTORIZABLE_LOOPS",
+    "api",
     "build_kernel",
     "build_simulator",
+    "list_machines",
+    "list_tables",
+    "run_table",
+    "simulate",
     "classify",
     "compute_limits",
     "config_by_name",

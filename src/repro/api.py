@@ -1,0 +1,299 @@
+"""The public facade: one entry path for every experiment.
+
+``repro.api`` is the single surface through which the CLI, the legacy
+runner, and the benchmark scripts run experiments::
+
+    import repro.api as api
+
+    run = api.run_table("table7", workers=4)     # parallel + cached
+    print(run.render_report())
+
+    result = api.simulate(5, "ruu:2:50")         # one kernel, one machine
+    report = api.limits(5)                       # dataflow/resource limits
+
+Key facts:
+
+* :func:`run_table` decomposes a table into independent
+  ``(kernel, machine-spec, config)`` cells, fans them out over a process
+  pool (``workers``, default ``os.cpu_count()``), and merges results
+  deterministically -- parallel output is bit-identical to serial.
+* Results and traces persist in a content-addressed store under
+  ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``); pass ``cache=False``
+  to opt out.  Cache state can only affect timing, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .analysis import stall_breakdown
+from .core import SimulationResult, build_simulator, config_by_name
+from .core.registry import UnknownSpecError, available_specs, list_specs
+from .harness import experiments as _experiments
+from .harness.aggregate import relative_error
+from .harness.engine import EngineStats, run_plan
+from .harness.paper import PAPER_SECTION33, PAPER_TABLES
+from .harness.plans import PLAN_BUILDERS, build_plan
+from .harness.tables import ResultTable, compare_tables
+from .kernels import build_kernel
+from .limits import LoopLimits, compute_limits
+from .trace import (
+    DiskCache,
+    Trace,
+    TraceStats,
+    read_trace,
+    trace_stats,
+    write_trace,
+)
+
+Sizes = Optional[Mapping[int, int]]
+
+__all__ = [
+    "TableRun",
+    "UnknownSpecError",
+    "capture",
+    "disassemble",
+    "kernel_stats",
+    "limits",
+    "list_machines",
+    "list_tables",
+    "replay",
+    "run_table",
+    "section33",
+    "simulate",
+    "stalls",
+]
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRun:
+    """A finished table regeneration: the table, its stats, the paper data."""
+
+    table: ResultTable
+    stats: EngineStats
+    reference: Optional[ResultTable] = None
+
+    def comparison(self) -> List[Tuple[str, str, float, float]]:
+        """(row, column, measured, paper) pairs, empty without a reference."""
+        if self.reference is None:
+            return []
+        return compare_tables(self.table, self.reference)
+
+    def render_report(self, *, compare: bool = False) -> str:
+        """The full textual report: table, run footer, optional paper diff."""
+        lines = [self.table.render(), self.stats.footer()]
+        if compare and self.reference is not None:
+            lines += ["", self.reference.render()]
+            pairs = self.comparison()
+            if pairs:
+                errors = [relative_error(m, r) for _, _, m, r in pairs]
+                mean_abs = sum(abs(e) for e in errors) / len(errors)
+                lines.append(
+                    f"[{len(pairs)} comparable cells; "
+                    f"mean |relative deviation| = {mean_abs:.1%}]"
+                )
+        return "\n".join(lines)
+
+
+def list_tables() -> Tuple[str, ...]:
+    """Every table id :func:`run_table` accepts, in paper order."""
+    return tuple(sorted(PLAN_BUILDERS))
+
+
+def run_table(
+    table_id: str,
+    *,
+    compare: bool = False,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    sizes: Sizes = None,
+    **plan_overrides,
+) -> TableRun:
+    """Regenerate one of the paper's tables.
+
+    Args:
+        table_id: ``"table1"`` ... ``"table8"``.
+        compare: attach the paper's reported table for cell-by-cell diffs.
+        workers: process fan-out width (default ``os.cpu_count()``).
+        cache: consult/feed the persistent store under ``REPRO_CACHE_DIR``.
+        sizes: loop-number -> problem-size overrides (tests use this).
+        plan_overrides: table-specific sweep parameters (``stations``,
+            ``ruu_sizes``, ``units``).
+
+    Returns:
+        A :class:`TableRun`; ``run.table`` is bit-identical for any
+        ``workers`` value and any cache state.
+    """
+    plan = build_plan(table_id, sizes, **plan_overrides)
+    store = DiskCache() if cache else None
+    outcome = run_plan(plan, workers=workers, cache=store)
+    reference = PAPER_TABLES.get(table_id) if compare else None
+    return TableRun(table=outcome.table, stats=outcome.stats, reference=reference)
+
+
+def section33(sizes: Sizes = None) -> Dict[str, float]:
+    """The Section 3.3 quote: single-issue RUU rates per loop class."""
+    return _experiments.section33(sizes)
+
+
+def paper_section33() -> Dict[str, float]:
+    """The paper's reported Section 3.3 numbers."""
+    return dict(PAPER_SECTION33)
+
+
+# ----------------------------------------------------------------------
+# Single-kernel operations
+# ----------------------------------------------------------------------
+
+def _kernel(
+    kernel: int,
+    n: Optional[int],
+    *,
+    schedule: bool = True,
+    unroll: int = 1,
+    vector: bool = False,
+    explicit_addressing: bool = False,
+):
+    if vector:
+        from .kernels.vectorized import build_vectorized
+
+        return build_vectorized(kernel, n)
+    return build_kernel(
+        kernel,
+        n,
+        schedule=schedule,
+        unroll=unroll,
+        explicit_addressing=explicit_addressing,
+    )
+
+
+def simulate(
+    kernel: int,
+    machine: str = "cray",
+    *,
+    n: Optional[int] = None,
+    config: str = "M11BR5",
+    schedule: bool = True,
+    unroll: int = 1,
+    vector: bool = False,
+    explicit_addressing: bool = False,
+) -> SimulationResult:
+    """Time one kernel on one machine organisation.
+
+    *machine* is a registry spec string (see :func:`list_machines`);
+    unknown specs raise :class:`UnknownSpecError`.
+    """
+    simulator = build_simulator(machine)
+    instance = _kernel(
+        kernel, n,
+        schedule=schedule, unroll=unroll, vector=vector,
+        explicit_addressing=explicit_addressing,
+    )
+    return simulator.simulate(instance.trace(), config_by_name(config))
+
+
+def limits(
+    kernel: int,
+    *,
+    n: Optional[int] = None,
+    config: str = "M11BR5",
+    serial: bool = False,
+    schedule: bool = True,
+    unroll: int = 1,
+) -> LoopLimits:
+    """Pseudo-dataflow / resource / actual limits for one kernel."""
+    instance = _kernel(kernel, n, schedule=schedule, unroll=unroll)
+    return compute_limits(
+        instance.trace(), config_by_name(config), serial=serial
+    )
+
+
+def stalls(
+    kernel: int,
+    *,
+    n: Optional[int] = None,
+    config: str = "M11BR5",
+    schedule: bool = True,
+    unroll: int = 1,
+):
+    """Stall attribution for one kernel on an issue-blocking machine."""
+    instance = _kernel(kernel, n, schedule=schedule, unroll=unroll)
+    return stall_breakdown(instance.trace(), config_by_name(config))
+
+
+def disassemble(
+    kernel: int,
+    *,
+    n: Optional[int] = None,
+    schedule: bool = True,
+    unroll: int = 1,
+    vector: bool = False,
+    explicit_addressing: bool = False,
+) -> str:
+    """A kernel's assembly listing."""
+    instance = _kernel(
+        kernel, n,
+        schedule=schedule, unroll=unroll, vector=vector,
+        explicit_addressing=explicit_addressing,
+    )
+    return instance.program.disassemble()
+
+
+def kernel_stats(
+    kernel: int,
+    *,
+    n: Optional[int] = None,
+    schedule: bool = True,
+    unroll: int = 1,
+    vector: bool = False,
+) -> TraceStats:
+    """Dynamic instruction-mix statistics for one kernel."""
+    instance = _kernel(kernel, n, schedule=schedule, unroll=unroll, vector=vector)
+    return trace_stats(instance.trace())
+
+
+def capture(
+    kernel: int,
+    out: str,
+    *,
+    n: Optional[int] = None,
+    schedule: bool = True,
+    unroll: int = 1,
+    vector: bool = False,
+) -> int:
+    """Save a kernel's verified dynamic trace as JSON lines; entry count."""
+    instance = _kernel(kernel, n, schedule=schedule, unroll=unroll, vector=vector)
+    trace = instance.trace()
+    write_trace(trace, out)
+    return len(trace)
+
+
+def replay(
+    trace_path: str,
+    machine: str = "cray",
+    *,
+    config: str = "M11BR5",
+) -> SimulationResult:
+    """Time a previously captured trace on any machine."""
+    trace: Trace = read_trace(trace_path)
+    simulator = build_simulator(machine)
+    return simulator.simulate(trace, config_by_name(config))
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+
+def list_machines() -> Tuple[str, ...]:
+    """Every accepted machine spec: fixed names plus templates."""
+    return list_specs()
+
+
+def machine_spec_help() -> str:
+    """One-line grammar of accepted machine specification strings."""
+    return available_specs()

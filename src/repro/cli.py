@@ -1,9 +1,10 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Subcommands cover the full workflow without writing Python:
+Every subcommand is a thin wrapper over :mod:`repro.api` -- the CLI
+parses arguments and prints, the facade does the work:
 
-* ``tables``   -- regenerate any of the paper's tables (wraps the
-  harness runner, including ``--compare``);
+* ``tables``   -- regenerate any of the paper's tables in parallel with a
+  persistent result store (``--workers``, ``--no-cache``, ``--compare``);
 * ``simulate`` -- run one kernel through one machine organisation;
 * ``disasm``   -- print a kernel's assembly listing;
 * ``stats``    -- dynamic instruction-mix statistics;
@@ -19,13 +20,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import stall_breakdown
-from .core import build_simulator, config_by_name
-from .core.registry import available_specs
-from .harness import runner as table_runner
-from .kernels import ALL_LOOPS, build_kernel
-from .limits import compute_limits
-from .trace import format_stats, read_trace, trace_stats, write_trace
+from . import api
+from .kernels import ALL_LOOPS
+from .trace import format_stats
 
 
 def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
@@ -57,18 +54,14 @@ def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _kernel_from(args) -> "object":
-    if getattr(args, "vector", False):
-        from .kernels.vectorized import build_vectorized
-
-        return build_vectorized(args.kernel, args.n)
-    return build_kernel(
-        args.kernel,
-        args.n,
-        schedule=not args.no_schedule,
-        unroll=args.unroll,
-        explicit_addressing=getattr(args, "explicit_addressing", False),
-    )
+def _kernel_kwargs(args) -> dict:
+    return {
+        "n": args.n,
+        "schedule": not args.no_schedule,
+        "unroll": args.unroll,
+        "vector": getattr(args, "vector", False),
+        "explicit_addressing": getattr(args, "explicit_addressing", False),
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,16 +77,27 @@ def build_parser() -> argparse.ArgumentParser:
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument(
         "table",
-        choices=sorted(table_runner.EXPERIMENTS) + ["section33", "all"],
+        choices=list(api.list_tables()) + ["section33", "all"],
     )
     tables.add_argument("--compare", action="store_true")
+    tables.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: all CPUs)",
+    )
+    tables.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result store under $REPRO_CACHE_DIR",
+    )
 
     simulate = sub.add_parser("simulate", help="time one kernel on one machine")
     _add_kernel_arguments(simulate)
     simulate.add_argument(
         "--machine",
         default="cray",
-        help=f"machine spec ({available_specs()})",
+        help=f"machine spec ({api.machine_spec_help()})",
     )
     simulate.add_argument("--config", default="M11BR5")
 
@@ -123,43 +127,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_tables(
+    table: str,
+    *,
+    compare: bool = False,
+    workers: Optional[int] = None,
+    cache: bool = True,
+) -> int:
+    """The ``tables`` subcommand: print tables (or the section 3.3 quote)."""
+    if table == "section33":
+        rates = api.section33()
+        paper = api.paper_section33()
+        print("Section 3.3: single-issue dependency resolution on M11BR5")
+        for class_label, rate in rates.items():
+            print(
+                f"  {class_label:<13} measured {rate:.2f}   "
+                f"paper {paper[class_label]:.2f}"
+            )
+        return 0
+
+    targets = api.list_tables() if table == "all" else (table,)
+    for table_id in targets:
+        run = api.run_table(
+            table_id, compare=compare, workers=workers, cache=cache
+        )
+        print(run.render_report(compare=compare))
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except api.UnknownSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _dispatch(args) -> int:
     if args.command == "tables":
-        forwarded = [args.table] + (["--compare"] if args.compare else [])
-        return table_runner.main(forwarded)
+        return run_tables(
+            args.table,
+            compare=args.compare,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
 
     if args.command == "replay":
-        trace = read_trace(args.trace)
-        simulator = build_simulator(args.machine)
-        result = simulator.simulate(trace, config_by_name(args.config))
-        print(result)
+        print(api.replay(args.trace, args.machine, config=args.config))
         return 0
-
-    kernel = _kernel_from(args)
 
     if args.command == "disasm":
-        print(kernel.program.disassemble())
+        print(api.disassemble(args.kernel, **_kernel_kwargs(args)))
         return 0
 
-    trace = kernel.trace()
-
     if args.command == "simulate":
-        simulator = build_simulator(args.machine)
-        result = simulator.simulate(trace, config_by_name(args.config))
-        print(result)
+        kwargs = _kernel_kwargs(args)
+        print(api.simulate(args.kernel, args.machine, config=args.config, **kwargs))
         return 0
 
     if args.command == "stats":
-        print(format_stats(trace_stats(trace)))
+        kwargs = _kernel_kwargs(args)
+        kwargs.pop("explicit_addressing")
+        print(format_stats(api.kernel_stats(args.kernel, **kwargs)))
         return 0
 
     if args.command == "limits":
-        config = config_by_name(args.config)
-        pure = compute_limits(trace, config)
-        serial = compute_limits(trace, config, serial=True)
-        print(f"{trace.name} on {config.name}:")
+        kwargs = _kernel_kwargs(args)
+        kwargs.pop("vector")
+        kwargs.pop("explicit_addressing")
+        pure = api.limits(args.kernel, config=args.config, **kwargs)
+        serial = api.limits(
+            args.kernel, config=args.config, serial=True, **kwargs
+        )
+        print(f"{pure.trace_name} on {pure.config.name}:")
         print(f"  pseudo-dataflow limit  {pure.pseudo_dataflow_rate:.3f}")
         print(f"  resource limit         {pure.resource_rate:.3f} "
               f"(bottleneck: {pure.resource.bottleneck.value})")
@@ -168,12 +210,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "stalls":
-        print(stall_breakdown(trace, config_by_name(args.config)).render())
+        kwargs = _kernel_kwargs(args)
+        kwargs.pop("vector")
+        kwargs.pop("explicit_addressing")
+        print(api.stalls(args.kernel, config=args.config, **kwargs).render())
         return 0
 
     if args.command == "capture":
-        write_trace(trace, args.out)
-        print(f"wrote {len(trace)} entries to {args.out}")
+        kwargs = _kernel_kwargs(args)
+        kwargs.pop("explicit_addressing")
+        count = api.capture(args.kernel, args.out, **kwargs)
+        print(f"wrote {count} entries to {args.out}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -15,7 +15,12 @@ from .config import (
 )
 from .inorder_multi import InOrderMultiIssueMachine
 from .ooo_multi import OutOfOrderMultiIssueMachine
-from .registry import available_specs, build_simulator
+from .registry import (
+    UnknownSpecError,
+    available_specs,
+    build_simulator,
+    list_specs,
+)
 from .result import SimulationResult
 from .ruu import RUUMachine
 from .scoreboard import (
@@ -47,8 +52,10 @@ __all__ = [
     "SlotPerCycle",
     "STANDARD_CONFIGS",
     "TomasuloMachine",
+    "UnknownSpecError",
     "available_specs",
     "build_simulator",
+    "list_specs",
     "config_by_name",
     "cray_like_machine",
     "non_segmented_machine",

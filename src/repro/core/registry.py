@@ -29,6 +29,22 @@ _BUS_NAMES = {
     "xbar": BusKind.X_BAR,
 }
 
+
+class UnknownSpecError(ValueError):
+    """An unrecognised simulator specification string.
+
+    Carries the offending spec and the accepted grammar so callers (CLI,
+    ``repro.api``) can print an actionable message instead of a bare
+    ``KeyError``/``ValueError``.
+    """
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+        self.valid = available_specs()
+        super().__init__(
+            f"unknown simulator spec {spec!r}; accepted: {self.valid}"
+        )
+
 _FIXED: Dict[str, Callable[[], Simulator]] = {
     "simple": SimpleMachine,
     "serialmemory": serial_memory_machine,
@@ -38,6 +54,21 @@ _FIXED: Dict[str, Callable[[], Simulator]] = {
     "cdc6600": CDC6600Machine,
     "tomasulo": TomasuloMachine,
 }
+
+
+#: Parameterised spec templates accepted alongside the fixed names.
+SPEC_TEMPLATES = (
+    "inorder:<units>[:<bus>]",
+    "ooo:<units>[:<bus>]",
+    "ruu:<units>:<ruu-size>[:<bus>]",
+    "cache:<words>[:<hit>:<miss>]",
+    "banked:<banks>[:<busy>]",
+)
+
+
+def list_specs() -> tuple:
+    """Every accepted specification: fixed names plus templates."""
+    return tuple(sorted(_FIXED)) + SPEC_TEMPLATES
 
 
 def available_specs() -> str:
@@ -112,6 +143,4 @@ def build_simulator(spec: str) -> Simulator:
             lambda: ConflictMemory(BankedMemory(banks, busy), 11)
         )
 
-    raise ValueError(
-        f"unknown simulator spec {spec!r}; accepted: {available_specs()}"
-    )
+    raise UnknownSpecError(spec)

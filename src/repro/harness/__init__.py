@@ -6,6 +6,8 @@ from .aggregate import (
     hmean_by_key,
     relative_error,
 )
+from .engine import EngineStats, PlanRun, run_plan
+from .plans import PLAN_BUILDERS, Cell, ExperimentPlan, build_plan
 from .experiments import (
     EXPERIMENTS,
     class_traces,
@@ -24,13 +26,20 @@ from .paper import PAPER_SECTION33, PAPER_TABLES
 from .tables import ResultTable, compare_tables
 
 __all__ = [
+    "Cell",
     "EXPERIMENTS",
+    "EngineStats",
+    "ExperimentPlan",
     "PAPER_SECTION33",
     "PAPER_TABLES",
+    "PLAN_BUILDERS",
+    "PlanRun",
     "ResultTable",
     "arithmetic_mean",
+    "build_plan",
     "class_traces",
     "compare_tables",
+    "run_plan",
     "harmonic_mean",
     "hmean_by_key",
     "per_loop_table",

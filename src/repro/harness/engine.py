@@ -1,0 +1,323 @@
+"""Parallel experiment engine: evaluate plans over a process pool.
+
+The engine takes an :class:`~repro.harness.plans.ExperimentPlan`,
+evaluates every cell -- in-process for ``workers=1``, over a
+``ProcessPoolExecutor`` otherwise -- and merges the per-cell values back
+into a :class:`~repro.harness.tables.ResultTable`.
+
+Determinism: cell values depend only on the cell (trace content and
+machine timing are fully deterministic), and the merge harmonic-means
+grouped values in *plan order*, never in completion order.  Parallel
+output is therefore bit-identical to serial output.
+
+Persistence: when given a :class:`~repro.trace.DiskCache`, workers look
+up each cell result (and each trace) by content hash before computing,
+and store whatever they had to compute.  A corrupted or missing entry is
+indistinguishable from a cold cache -- it only costs time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core import config_by_name
+from ..core.registry import build_simulator
+from ..kernels import build_kernel
+from ..limits import compute_limits
+from ..trace import DiskCache, Trace
+from .aggregate import harmonic_mean
+from .plans import Cell, ExperimentPlan
+from .tables import ResultTable
+
+#: Bump to invalidate previously stored cell results after a change to
+#: the timing models or the record schema.
+RESULT_SCHEMA_VERSION = 1
+
+_LIMIT_COLUMNS = ("pseudo-dataflow", "resource", "actual")
+
+
+def default_workers() -> int:
+    """Default fan-out width: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+
+def trace_key(loop: int, n: int) -> Dict[str, Any]:
+    """Identity of a verified dynamic trace (scheduled, no unrolling)."""
+    return {
+        "kind": "trace",
+        "loop": loop,
+        "n": n,
+        "schedule": True,
+        "unroll": 1,
+        "explicit_addressing": False,
+    }
+
+
+def cell_key(cell: Cell) -> Dict[str, Any]:
+    """Identity of one cell result (table/row/column independent)."""
+    key = trace_key(cell.loop, cell.n)
+    key.update({
+        "kind": "cell",
+        "machine": cell.machine,
+        "config": cell.config,
+        "serial": cell.serial,
+        "schema": RESULT_SCHEMA_VERSION,
+    })
+    return key
+
+
+# ----------------------------------------------------------------------
+# Cell evaluation (runs in workers; everything here must be picklable)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What evaluating one cell produced (plus bookkeeping)."""
+
+    index: int
+    values: Mapping[str, float]
+    seconds: float
+    result_hit: bool
+    trace_source: str  # "memo" | "disk" | "built" | "cached-result"
+
+
+#: Per-process trace memo: (loop, n) -> verified Trace.  With the default
+#: ``fork`` start method child workers inherit a snapshot and then extend
+#: their own copy.
+_TRACE_MEMO: Dict[Tuple[int, int], Trace] = {}
+
+#: Per-process DiskCache handle, set by the pool initializer.
+_WORKER_CACHE: Optional[DiskCache] = None
+
+
+def _pool_init(cache_dir: Optional[str]) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = DiskCache(cache_dir) if cache_dir is not None else None
+
+
+def clear_process_memo() -> None:
+    """Forget this process's in-memory trace memo (tests use this)."""
+    _TRACE_MEMO.clear()
+
+
+def _resolve_trace(
+    loop: int, n: int, cache: Optional[DiskCache]
+) -> Tuple[Trace, str]:
+    memo_key = (loop, n)
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is not None:
+        return trace, "memo"
+    if cache is not None:
+        trace = cache.load_trace(trace_key(loop, n))
+        if trace is not None:
+            _TRACE_MEMO[memo_key] = trace
+            return trace, "disk"
+    # build_kernel(...).trace() verifies against the NumPy reference and
+    # memoises in the process-wide trace cache as well.
+    trace = build_kernel(loop, n).trace()
+    _TRACE_MEMO[memo_key] = trace
+    if cache is not None:
+        cache.store_trace(trace_key(loop, n), trace)
+    return trace, "built"
+
+
+def _compute_record(
+    cell: Cell, cache: Optional[DiskCache]
+) -> Tuple[Dict[str, Any], str]:
+    trace, source = _resolve_trace(cell.loop, cell.n, cache)
+    config = config_by_name(cell.config)
+    if cell.is_limits:
+        report = compute_limits(trace, config, serial=cell.serial)
+        return {
+            "limits": {
+                "pseudo-dataflow": report.pseudo_dataflow_rate,
+                "resource": report.resource_rate,
+                "actual": report.actual_rate,
+            }
+        }, source
+    result = build_simulator(cell.machine).simulate(trace, config)
+    return {
+        "trace": result.trace_name,
+        "simulator": result.simulator,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+    }, source
+
+
+def _values_from_record(cell: Cell, record: Mapping[str, Any]) -> Dict[str, float]:
+    if cell.is_limits:
+        limits = record["limits"]
+        return {column: float(limits[column]) for column in cell.columns}
+    rate = int(record["instructions"]) / int(record["cycles"])
+    return {cell.columns[0]: rate}
+
+
+def evaluate_cell(
+    index: int, cell: Cell, cache: Optional[DiskCache]
+) -> CellOutcome:
+    """Evaluate one cell, consulting and feeding the cache if given."""
+    start = time.perf_counter()
+    record = cache.load_result(cell_key(cell)) if cache is not None else None
+    if record is not None:
+        try:
+            values = _values_from_record(cell, record)
+            return CellOutcome(
+                index=index,
+                values=values,
+                seconds=time.perf_counter() - start,
+                result_hit=True,
+                trace_source="cached-result",
+            )
+        except (KeyError, TypeError, ValueError, ZeroDivisionError):
+            # A record that does not decode cleanly is treated exactly
+            # like a miss: recompute and overwrite it.
+            record = None
+    record, source = _compute_record(cell, cache)
+    if cache is not None:
+        cache.store_result(cell_key(cell), record)
+    return CellOutcome(
+        index=index,
+        values=_values_from_record(cell, record),
+        seconds=time.perf_counter() - start,
+        result_hit=False,
+        trace_source=source,
+    )
+
+
+def _evaluate_in_pool(payload: Tuple[int, Cell]) -> CellOutcome:
+    index, cell = payload
+    return evaluate_cell(index, cell, _WORKER_CACHE)
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge + stats
+# ----------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """Run accounting: the footer of every engine invocation."""
+
+    table_id: str
+    cells: int
+    workers: int
+    wall_seconds: float = 0.0
+    cell_seconds: float = 0.0
+    max_cell_seconds: float = 0.0
+    result_hits: int = 0
+    traces_built: int = 0
+    traces_loaded: int = 0
+    cache_enabled: bool = False
+
+    @property
+    def result_misses(self) -> int:
+        return self.cells - self.result_hits
+
+    def footer(self) -> str:
+        if self.cache_enabled:
+            cache = (
+                f"result cache {self.result_hits} hit / "
+                f"{self.result_misses} miss; traces {self.traces_built} "
+                f"built, {self.traces_loaded} loaded"
+            )
+        else:
+            cache = "cache disabled"
+        return (
+            f"[{self.table_id}: {self.cells} cells in "
+            f"{self.wall_seconds:.1f}s wall / {self.cell_seconds:.1f}s cell "
+            f"time (max {self.max_cell_seconds:.2f}s), "
+            f"workers={self.workers}; {cache}]"
+        )
+
+
+@dataclass(frozen=True)
+class PlanRun:
+    """A finished plan evaluation: the table plus its run statistics."""
+
+    table: ResultTable
+    stats: EngineStats
+
+
+def merge_outcomes(
+    plan: ExperimentPlan, outcomes: List[CellOutcome]
+) -> ResultTable:
+    """Assemble the table from cell outcomes, in plan order.
+
+    Grouped values are harmonic-meaned in cell order (class loop order),
+    matching the paper's per-class aggregation exactly -- and making the
+    merge independent of completion order.
+    """
+    grouped: Dict[Tuple[str, str], List[float]] = {}
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        cell = plan.cells[outcome.index]
+        for column, value in outcome.values.items():
+            grouped.setdefault((cell.row, column), []).append(value)
+    rows = []
+    for row in plan.rows:
+        values = {
+            column: harmonic_mean(grouped[(row, column)])
+            for column in plan.columns
+            if (row, column) in grouped
+        }
+        rows.append((row, values))
+    return ResultTable(
+        table_id=plan.table_id,
+        title=plan.title,
+        columns=plan.columns,
+        rows=tuple(rows),
+    )
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[DiskCache] = None,
+) -> PlanRun:
+    """Evaluate every cell of *plan* and merge deterministically.
+
+    ``workers=1`` (or a single-cell plan) runs in-process; anything
+    larger fans out over a ``ProcessPoolExecutor``.  *cache* is optional:
+    without it the engine is a pure compute path.
+    """
+    workers = default_workers() if workers is None else max(1, int(workers))
+    start = time.perf_counter()
+    payloads = list(enumerate(plan.cells))
+
+    if workers == 1 or len(payloads) <= 1:
+        outcomes = [
+            evaluate_cell(index, cell, cache) for index, cell in payloads
+        ]
+    else:
+        cache_dir = str(cache.root) if cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_init,
+            initargs=(cache_dir,),
+        ) as pool:
+            chunk = max(1, len(payloads) // (workers * 4))
+            outcomes = list(
+                pool.map(_evaluate_in_pool, payloads, chunksize=chunk)
+            )
+
+    table = merge_outcomes(plan, outcomes)
+    stats = EngineStats(
+        table_id=plan.table_id,
+        cells=len(plan.cells),
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+        cell_seconds=sum(o.seconds for o in outcomes),
+        max_cell_seconds=max((o.seconds for o in outcomes), default=0.0),
+        result_hits=sum(1 for o in outcomes if o.result_hit),
+        traces_built=sum(1 for o in outcomes if o.trace_source == "built"),
+        traces_loaded=sum(1 for o in outcomes if o.trace_source == "disk"),
+        cache_enabled=cache is not None,
+    )
+    return PlanRun(table=table, stats=stats)

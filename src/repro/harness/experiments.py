@@ -1,11 +1,14 @@
 """Experiment definitions: one function per table in the paper.
 
-Each ``tableN()`` function rebuilds the paper's Table N from scratch:
-build the kernels, verify them against their references, capture traces,
-replay them through the relevant machine models, and aggregate per-class
-harmonic means.  Row and column labels match
-:mod:`repro.harness.paper` exactly, so results can be compared
-cell-by-cell against the paper's numbers.
+Each ``tableN()`` function rebuilds the paper's Table N from scratch.
+Since the engine redesign the functions are thin wrappers: they build the
+table's declarative cell decomposition (:mod:`repro.harness.plans`) and
+evaluate it with the in-process engine (:mod:`repro.harness.engine`).
+Parallel and cached evaluation of the same plans is exposed through
+:mod:`repro.api` -- both paths produce bit-identical tables.
+
+Row and column labels match :mod:`repro.harness.paper` exactly, so
+results can be compared cell-by-cell against the paper's numbers.
 
 All functions accept ``sizes`` (a loop-number -> problem-size mapping) so
 tests can run scaled-down versions; experiments default to the standard
@@ -14,28 +17,17 @@ sizes in :mod:`repro.kernels.sizes`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.buses import BusKind
-from ..core.config import STANDARD_CONFIGS, MachineConfig
-from ..core.inorder_multi import InOrderMultiIssueMachine
-from ..core.ooo_multi import OutOfOrderMultiIssueMachine
+from ..core.config import MachineConfig
 from ..core.ruu import RUUMachine
-from ..core.scoreboard import (
-    cray_like_machine,
-    non_segmented_machine,
-    serial_memory_machine,
-)
-from ..core.simple import SimpleMachine
-from ..kernels import (
-    SCALAR_LOOPS,
-    VECTORIZABLE_LOOPS,
-    build_kernel,
-)
+from ..kernels import SCALAR_LOOPS, VECTORIZABLE_LOOPS, build_kernel
 from ..limits import compute_limits
 from ..trace import Trace
 from .aggregate import harmonic_mean
-from .paper import BUS_LABELS, CONFIG_NAMES, RUU_SIZES, RUU_UNITS
+from .engine import run_plan
+from .plans import PLAN_BUILDERS, build_plan
 from .tables import ResultTable
 
 Sizes = Optional[Mapping[int, int]]
@@ -44,8 +36,6 @@ _CLASS_LOOPS = {
     "scalar": SCALAR_LOOPS,
     "vectorizable": VECTORIZABLE_LOOPS,
 }
-
-_BUS_KINDS = {"N-Bus": BusKind.N_BUS, "1-Bus": BusKind.ONE_BUS}
 
 
 def class_traces(class_label: str, sizes: Sizes = None) -> List[Trace]:
@@ -65,219 +55,66 @@ def _class_hmean(simulator, traces, config: MachineConfig) -> float:
     )
 
 
-# ----------------------------------------------------------------------
-# Table 1
-# ----------------------------------------------------------------------
+def _run(table_id: str, sizes: Sizes, **overrides) -> ResultTable:
+    return run_plan(build_plan(table_id, sizes, **overrides), workers=1).table
+
 
 def table1(sizes: Sizes = None) -> ResultTable:
     """Issue rates of the four basic single-issue machine organisations."""
-    simulators = (
-        ("Simple", SimpleMachine()),
-        ("SerialMemory", serial_memory_machine()),
-        ("NonSegmented", non_segmented_machine()),
-        ("CRAY-like", cray_like_machine()),
-    )
-    rows = []
-    for class_label in ("scalar", "vectorizable"):
-        traces = class_traces(class_label, sizes)
-        for sim_label, simulator in simulators:
-            values = {
-                config.name: _class_hmean(simulator, traces, config)
-                for config in STANDARD_CONFIGS
-            }
-            rows.append((f"{class_label}/{sim_label}", values))
-    return ResultTable(
-        table_id="table1",
-        title="Table 1: instruction issue rates for basic machine organisations",
-        columns=CONFIG_NAMES,
-        rows=tuple(rows),
-    )
+    return _run("table1", sizes)
 
-
-# ----------------------------------------------------------------------
-# Table 2
-# ----------------------------------------------------------------------
 
 def table2(sizes: Sizes = None) -> ResultTable:
     """Pseudo-dataflow, resource and actual limits ("Pure" and "Serial")."""
-    columns = ("pseudo-dataflow", "resource", "actual")
-    rows = []
-    for class_label in ("scalar", "vectorizable"):
-        traces = class_traces(class_label, sizes)
-        for serial in (False, True):
-            prefix = "Serial" if serial else "Pure"
-            for config in STANDARD_CONFIGS:
-                limits = [
-                    compute_limits(trace, config, serial=serial)
-                    for trace in traces
-                ]
-                values = {
-                    "pseudo-dataflow": harmonic_mean(
-                        l.pseudo_dataflow_rate for l in limits
-                    ),
-                    "resource": harmonic_mean(l.resource_rate for l in limits),
-                    "actual": harmonic_mean(l.actual_rate for l in limits),
-                }
-                rows.append((f"{class_label}/{prefix} {config.name}", values))
-    # Keep paper row order: scalar Pure, vectorizable Pure, scalar Serial,
-    # vectorizable Serial.
-    ordered = sorted(
-        rows,
-        key=lambda row: (
-            "Serial" in row[0],
-            not row[0].startswith("scalar"),
-        ),
-    )
-    return ResultTable(
-        table_id="table2",
-        title="Table 2: pseudo-dataflow and resource limits",
-        columns=columns,
-        rows=tuple(ordered),
-    )
-
-
-# ----------------------------------------------------------------------
-# Tables 3-6 (multiple issue, sequential and out-of-order)
-# ----------------------------------------------------------------------
-
-def _multi_issue_table(
-    table_id: str,
-    title: str,
-    class_label: str,
-    machine_factory,
-    sizes: Sizes,
-    stations: Sequence[int],
-) -> ResultTable:
-    traces = class_traces(class_label, sizes)
-    columns = tuple(
-        f"{config.name} {bus}"
-        for config in STANDARD_CONFIGS
-        for bus in BUS_LABELS
-    )
-    rows = []
-    for n_stations in stations:
-        values: Dict[str, float] = {}
-        for config in STANDARD_CONFIGS:
-            for bus_label, bus_kind in _BUS_KINDS.items():
-                simulator = machine_factory(n_stations, bus_kind)
-                values[f"{config.name} {bus_label}"] = _class_hmean(
-                    simulator, traces, config
-                )
-        rows.append((str(n_stations), values))
-    return ResultTable(
-        table_id=table_id, title=title, columns=columns, rows=tuple(rows)
-    )
+    return _run("table2", sizes)
 
 
 def table3(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
     """Multiple issue units, sequential issue, scalar code."""
-    return _multi_issue_table(
-        "table3",
-        "Table 3: multiple issue units, sequential issue of scalar code",
-        "scalar",
-        InOrderMultiIssueMachine,
-        sizes,
-        stations,
-    )
+    return _run("table3", sizes, stations=stations)
 
 
 def table4(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
     """Multiple issue units, sequential issue, vectorizable code."""
-    return _multi_issue_table(
-        "table4",
-        "Table 4: multiple issue units, sequential issue for vectorizable code",
-        "vectorizable",
-        InOrderMultiIssueMachine,
-        sizes,
-        stations,
-    )
+    return _run("table4", sizes, stations=stations)
 
 
 def table5(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
     """Multiple issue units, out-of-order issue, scalar code."""
-    return _multi_issue_table(
-        "table5",
-        "Table 5: multiple issue units, out-of-order issue for scalar code",
-        "scalar",
-        OutOfOrderMultiIssueMachine,
-        sizes,
-        stations,
-    )
+    return _run("table5", sizes, stations=stations)
 
 
 def table6(sizes: Sizes = None, stations: Sequence[int] = range(1, 9)) -> ResultTable:
     """Multiple issue units, out-of-order issue, vectorizable code."""
-    return _multi_issue_table(
-        "table6",
-        "Table 6: multiple issue units, out-of-order issue for vectorizable loops",
-        "vectorizable",
-        OutOfOrderMultiIssueMachine,
-        sizes,
-        stations,
-    )
-
-
-# ----------------------------------------------------------------------
-# Tables 7-8 (RUU dependency resolution)
-# ----------------------------------------------------------------------
-
-def _ruu_table(
-    table_id: str,
-    title: str,
-    class_label: str,
-    sizes: Sizes,
-    ruu_sizes: Sequence[int],
-    units: Sequence[int],
-) -> ResultTable:
-    traces = class_traces(class_label, sizes)
-    columns = tuple(f"x{u} {bus}" for u in units for bus in BUS_LABELS)
-    rows = []
-    for config in STANDARD_CONFIGS:
-        for size in ruu_sizes:
-            values: Dict[str, float] = {}
-            for u in units:
-                for bus_label, bus_kind in _BUS_KINDS.items():
-                    simulator = RUUMachine(u, size, bus_kind)
-                    values[f"x{u} {bus_label}"] = _class_hmean(
-                        simulator, traces, config
-                    )
-            rows.append((f"{config.name}/R{size}", values))
-    return ResultTable(
-        table_id=table_id, title=title, columns=columns, rows=tuple(rows)
-    )
+    return _run("table6", sizes, stations=stations)
 
 
 def table7(
     sizes: Sizes = None,
-    ruu_sizes: Sequence[int] = RUU_SIZES,
-    units: Sequence[int] = RUU_UNITS,
+    ruu_sizes: Sequence[int] = None,
+    units: Sequence[int] = None,
 ) -> ResultTable:
     """Multiple issue units with RUU dependency resolution, scalar code."""
-    return _ruu_table(
-        "table7",
-        "Table 7: multiple issue units with dependency resolution; scalar code",
-        "scalar",
-        sizes,
-        ruu_sizes,
-        units,
-    )
+    overrides = {}
+    if ruu_sizes is not None:
+        overrides["ruu_sizes"] = ruu_sizes
+    if units is not None:
+        overrides["units"] = units
+    return _run("table7", sizes, **overrides)
 
 
 def table8(
     sizes: Sizes = None,
-    ruu_sizes: Sequence[int] = RUU_SIZES,
-    units: Sequence[int] = RUU_UNITS,
+    ruu_sizes: Sequence[int] = None,
+    units: Sequence[int] = None,
 ) -> ResultTable:
     """Multiple issue units with RUU dependency resolution, vectorizable code."""
-    return _ruu_table(
-        "table8",
-        "Table 8: multiple issue units with dependency resolution; "
-        "vectorizable code",
-        "vectorizable",
-        sizes,
-        ruu_sizes,
-        units,
-    )
+    overrides = {}
+    if ruu_sizes is not None:
+        overrides["ruu_sizes"] = ruu_sizes
+    if units is not None:
+        overrides["units"] = units
+    return _run("table8", sizes, **overrides)
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +132,9 @@ def per_loop_table(
     where the class differences come from.
     """
     from ..core.config import M11BR5
+    from ..core.ooo_multi import OutOfOrderMultiIssueMachine
+    from ..core.scoreboard import cray_like_machine
+    from ..core.simple import SimpleMachine
     from ..kernels import ALL_LOOPS, classify
 
     config = config or M11BR5
@@ -347,14 +187,8 @@ def section33(sizes: Sizes = None) -> Dict[str, float]:
     }
 
 
-#: Experiment id -> builder, for the runner and the benchmarks.
+#: Experiment id -> builder, for backward compatibility (the runner and
+#: benchmarks now go through :mod:`repro.api`, which uses the plans).
 EXPERIMENTS = {
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "table4": table4,
-    "table5": table5,
-    "table6": table6,
-    "table7": table7,
-    "table8": table8,
+    table_id: globals()[table_id] for table_id in sorted(PLAN_BUILDERS)
 }

@@ -1,57 +1,43 @@
-"""Command-line runner: regenerate any of the paper's tables.
+"""Deprecated command-line runner (use ``python -m repro tables``).
 
-Usage::
+This entry point predates :mod:`repro.api`; it is kept working for old
+scripts but simply delegates to the facade::
 
     python -m repro.harness.runner table1
     python -m repro.harness.runner table7 --compare
     python -m repro.harness.runner all
 
-``--compare`` prints the paper's reported table next to the measured one
-and a per-cell deviation summary.
+Prefer ``python -m repro tables`` -- it exposes the same experiments plus
+``--workers`` and ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List
 
-from .aggregate import relative_error
-from .experiments import EXPERIMENTS, section33
-from .paper import PAPER_SECTION33, PAPER_TABLES
-from .tables import compare_tables
+from .experiments import EXPERIMENTS, section33  # re-exported for compat
 
-
-def _run_one(table_id: str, compare: bool) -> None:
-    build = EXPERIMENTS[table_id]
-    start = time.time()
-    measured = build()
-    elapsed = time.time() - start
-    print(measured.render())
-    print(f"[{table_id} regenerated in {elapsed:.1f}s]")
-    if compare:
-        reference = PAPER_TABLES[table_id]
-        print()
-        print(reference.render())
-        pairs = compare_tables(measured, reference)
-        if pairs:
-            errors = [relative_error(m, r) for _, _, m, r in pairs]
-            mean_abs = sum(abs(e) for e in errors) / len(errors)
-            print(
-                f"[{len(pairs)} comparable cells; "
-                f"mean |relative deviation| = {mean_abs:.1%}]"
-            )
-    print()
+_DEPRECATION_NOTICE = (
+    "note: 'python -m repro.harness.runner' is deprecated; "
+    "use 'python -m repro tables' (same tables, plus --workers/--no-cache)"
+)
 
 
 def main(argv: List[str] = None) -> int:
+    from .. import api
+    from ..cli import run_tables
+
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's evaluation tables."
+        description=(
+            "Regenerate the paper's evaluation tables "
+            "(deprecated; use 'python -m repro tables')."
+        )
     )
     parser.add_argument(
         "table",
-        choices=sorted(EXPERIMENTS) + ["section33", "all"],
+        choices=list(api.list_tables()) + ["section33", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -61,18 +47,8 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.table == "section33":
-        rates = section33()
-        print("Section 3.3: single-issue dependency resolution on M11BR5")
-        for class_label, rate in rates.items():
-            paper = PAPER_SECTION33[class_label]
-            print(f"  {class_label:<13} measured {rate:.2f}   paper {paper:.2f}")
-        return 0
-
-    targets = sorted(EXPERIMENTS) if args.table == "all" else [args.table]
-    for table_id in targets:
-        _run_one(table_id, args.compare)
-    return 0
+    print(_DEPRECATION_NOTICE, file=sys.stderr)
+    return run_tables(args.table, compare=args.compare)
 
 
 if __name__ == "__main__":

@@ -1,15 +1,20 @@
 """Dynamic trace layer: capture, representation, statistics and caching."""
 
 from .cache import GLOBAL_TRACE_CACHE, TraceCache
+from .diskcache import CACHE_DIR_ENV, DiskCache, content_key, default_cache_dir
 from .generator import generate_trace, generate_trace_with_result
 from .io import TraceFormatError, read_trace, write_trace
 from .record import Trace, TraceEntry
 from .stats import TraceStats, format_stats, trace_stats
 
 __all__ = [
+    "CACHE_DIR_ENV",
+    "DiskCache",
     "GLOBAL_TRACE_CACHE",
     "Trace",
     "TraceCache",
+    "content_key",
+    "default_cache_dir",
     "TraceEntry",
     "TraceFormatError",
     "TraceStats",

@@ -1,0 +1,125 @@
+"""Tests for the ``repro.api`` facade."""
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.core import SimulationResult, UnknownSpecError, build_simulator
+from repro.harness import PAPER_TABLES
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent store at a throwaway directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestRunTable:
+    def test_returns_table_run_with_footer(self, small_sizes):
+        run = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert run.table.table_id == "table1"
+        # 4 machines x 4 configs x 14 loops
+        assert run.stats.cells == 224
+        report = run.render_report()
+        assert "Table 1" in report
+        assert "cells in" in report  # the engine footer
+
+    def test_compare_attaches_reference(self, small_sizes):
+        run = api.run_table(
+            "table1", sizes=small_sizes, workers=1, compare=True
+        )
+        assert run.reference is PAPER_TABLES["table1"]
+        assert len(run.comparison()) == 32
+        report = run.render_report(compare=True)
+        assert "Paper Table 1" in report
+        assert "relative deviation" in report
+
+    def test_matches_legacy_experiment_function(self, small_sizes):
+        from repro.harness import table3
+
+        run = api.run_table(
+            "table3", sizes=small_sizes, workers=1, cache=False,
+            stations=(1, 2),
+        )
+        assert run.table.rows == table3(small_sizes, stations=(1, 2)).rows
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            api.run_table("table99")
+
+    def test_top_level_reexports(self):
+        assert repro.run_table is api.run_table
+        assert repro.simulate is api.simulate
+        assert repro.list_tables() == api.list_tables()
+
+
+class TestSimulate:
+    def test_returns_simulation_result(self):
+        result = api.simulate(12, "cray", n=16, config="M5BR2")
+        assert isinstance(result, SimulationResult)
+        assert result.config.name == "M5BR2"
+        assert 0 < result.issue_rate < 1.5
+
+    def test_unknown_machine_raises_structured_error(self):
+        with pytest.raises(UnknownSpecError):
+            api.simulate(12, "warp-drive", n=16)
+
+
+class TestLimitsAndStalls:
+    def test_limits(self):
+        report = api.limits(5, n=8)
+        assert report.actual_rate <= report.pseudo_dataflow_rate + 1e-9
+        serial = api.limits(5, n=8, serial=True)
+        assert serial.actual_rate <= report.actual_rate + 1e-9
+
+    def test_stalls_render(self):
+        text = api.stalls(5, n=8).render()
+        assert "source register" in text
+
+
+class TestKernelHelpers:
+    def test_disassemble(self):
+        listing = api.disassemble(5, n=8)
+        assert "LOADS" in listing
+
+    def test_kernel_stats(self):
+        stats = api.kernel_stats(5, n=8)
+        assert stats.total > 0
+
+    def test_capture_replay_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        count = api.capture(12, str(path), n=16)
+        assert count > 0 and path.exists()
+        result = api.replay(str(path), "ooo:4")
+        assert isinstance(result, SimulationResult)
+        assert result.instructions == count
+
+
+class TestIntrospection:
+    def test_list_tables(self):
+        tables = api.list_tables()
+        assert tables == tuple(f"table{i}" for i in range(1, 9))
+
+    def test_list_machines_covers_registry(self):
+        machines = api.list_machines()
+        assert "cray" in machines
+        assert any(spec.startswith("ruu:") for spec in machines)
+        for spec in machines:
+            if "<" not in spec:  # fixed names must all build
+                assert build_simulator(spec) is not None
+
+    def test_section33_paper_numbers(self):
+        paper = api.paper_section33()
+        assert paper["scalar"] == pytest.approx(0.72)
+
+
+class TestUnknownSpecError:
+    def test_lists_valid_specs(self):
+        with pytest.raises(UnknownSpecError) as excinfo:
+            build_simulator("warp-drive")
+        assert excinfo.value.spec == "warp-drive"
+        assert "ruu:<units>" in str(excinfo.value)
+        assert "simple" in excinfo.value.valid
+
+    def test_is_a_value_error(self):
+        assert issubclass(UnknownSpecError, ValueError)

@@ -39,11 +39,14 @@ class TestSimulate:
         assert code == 0
 
     def test_bad_machine_spec(self, capsys):
-        with pytest.raises(ValueError):
-            run_cli(
-                capsys, "simulate", "--kernel", "12", "--n", "16",
-                "--machine", "warp-drive",
-            )
+        code = main([
+            "simulate", "--kernel", "12", "--n", "16",
+            "--machine", "warp-drive",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "warp-drive" in err
+        assert "ruu:<units>" in err
 
 
 class TestInspection:
@@ -97,14 +100,41 @@ class TestParser:
             main(["simulate", "--kernel", "99"])
 
     def test_tables_delegates(self, capsys, monkeypatch):
-        from repro.harness import runner
+        import repro.api as api
 
         monkeypatch.setattr(
-            runner, "section33", lambda: {"scalar": 0.5, "vectorizable": 0.6}
+            api, "section33", lambda: {"scalar": 0.5, "vectorizable": 0.6}
         )
         code, out = run_cli(capsys, "tables", "section33")
         assert code == 0
         assert "0.50" in out
+
+    def test_tables_forwards_workers_and_cache_flags(self, capsys, monkeypatch):
+        import repro.api as api
+        from repro.harness.engine import EngineStats
+        from repro.harness.tables import ResultTable
+
+        seen = {}
+
+        def fake(table_id, *, compare=False, workers=None, cache=True, **kw):
+            seen.update(table_id=table_id, workers=workers, cache=cache)
+            table = ResultTable(
+                table_id=table_id,
+                title="fake",
+                columns=("M11BR5",),
+                rows=(("r", {"M11BR5": 1.0}),),
+            )
+            return api.TableRun(
+                table=table,
+                stats=EngineStats(table_id=table_id, cells=1, workers=1),
+            )
+
+        monkeypatch.setattr(api, "run_table", fake)
+        code, out = run_cli(
+            capsys, "tables", "table3", "--workers", "2", "--no-cache"
+        )
+        assert code == 0
+        assert seen == {"table_id": "table3", "workers": 2, "cache": False}
 
 
 class TestVectorFlag:

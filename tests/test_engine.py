@@ -1,0 +1,174 @@
+"""Tests for the parallel experiment engine and the persistent store.
+
+The two properties the redesign promises:
+
+* **Determinism** -- ``workers=4`` produces cell-for-cell identical
+  tables to ``workers=1`` (the merge is in plan order, never completion
+  order).
+* **Cache transparency** -- a cold run populates the store, a warm run
+  hits it, and a corrupted entry is silently ignored and rebuilt; cache
+  state can only ever change timing, never values.
+"""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.harness.engine import (
+    cell_key,
+    clear_process_memo,
+    evaluate_cell,
+    trace_key,
+)
+from repro.harness.plans import build_plan
+from repro.trace import DiskCache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_process_memo()
+
+
+class TestPlans:
+    def test_table1_decomposition(self, small_sizes):
+        plan = build_plan("table1", small_sizes)
+        assert len(plan.cells) == 4 * 4 * 14
+        assert plan.rows[0] == "scalar/Simple"
+        assert all(cell.n == small_sizes[cell.loop] for cell in plan.cells)
+
+    def test_table2_uses_limit_cells(self, small_sizes):
+        plan = build_plan("table2", small_sizes)
+        assert all(cell.is_limits for cell in plan.cells)
+        assert plan.columns == ("pseudo-dataflow", "resource", "actual")
+        # Paper row order: Pure before Serial, scalar before vectorizable.
+        assert plan.rows[0].startswith("scalar/Pure")
+        assert plan.rows[-1].startswith("vectorizable/Serial")
+
+    def test_cell_keys_are_table_independent(self, small_sizes):
+        t1 = build_plan("table1", small_sizes)
+        t3 = build_plan("table3", small_sizes, stations=(1,))
+        cray = next(c for c in t1.cells if c.machine == "cray")
+        inorder = next(c for c in t3.cells if c.machine == "inorder:1:nbus")
+        assert cell_key(cray) != cell_key(inorder)
+        assert trace_key(cray.loop, cray.n) == trace_key(cray.loop, cray.n)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "table_id,overrides",
+        [
+            ("table1", {}),
+            ("table7", {"ruu_sizes": (10, 50), "units": (1, 4)}),
+        ],
+    )
+    def test_parallel_identical_to_serial(
+        self, small_sizes, table_id, overrides
+    ):
+        serial = api.run_table(
+            table_id, sizes=small_sizes, workers=1, cache=False, **overrides
+        )
+        parallel = api.run_table(
+            table_id, sizes=small_sizes, workers=4, cache=False, **overrides
+        )
+        assert serial.table.columns == parallel.table.columns
+        for (row_s, values_s), (row_p, values_p) in zip(
+            serial.table.rows, parallel.table.rows
+        ):
+            assert row_s == row_p
+            for column in serial.table.columns:
+                # Bit-identical, not approximately equal.
+                assert values_s[column] == values_p[column]
+
+    def test_parallel_with_cache_identical(self, small_sizes):
+        serial = api.run_table("table1", sizes=small_sizes, workers=1,
+                               cache=False)
+        cached = api.run_table("table1", sizes=small_sizes, workers=4,
+                               cache=True)
+        recached = api.run_table("table1", sizes=small_sizes, workers=1,
+                                 cache=True)
+        assert serial.table.rows == cached.table.rows
+        assert serial.table.rows == recached.table.rows
+
+
+class TestDiskCacheRoundTrip:
+    def test_cold_populates_warm_hits(self, small_sizes):
+        cold = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert cold.stats.result_hits == 0
+        assert cold.stats.traces_built > 0
+
+        warm = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert warm.stats.result_hits == warm.stats.cells
+        assert warm.stats.traces_built == 0
+        assert warm.table.rows == cold.table.rows
+
+    def test_corrupted_result_is_ignored_and_rebuilt(self, small_sizes):
+        cold = api.run_table("table1", sizes=small_sizes, workers=1)
+        store = DiskCache()
+        results = sorted((store.root / "results").glob("*.jsonl"))
+        assert len(results) == cold.stats.cells
+        results[0].write_text("this is not json\n")
+        results[1].write_text(json.dumps({"kind": "header"}) + "\n")
+
+        warm = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert warm.table.rows == cold.table.rows
+        assert warm.stats.result_hits == warm.stats.cells - 2
+        # The corrupted entries were rebuilt in place.
+        rerun = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert rerun.stats.result_hits == rerun.stats.cells
+
+    def test_corrupted_trace_is_ignored_and_rebuilt(self, small_sizes):
+        api.run_table("table1", sizes=small_sizes, workers=1)
+        store = DiskCache()
+        for archive in (store.root / "traces").glob("*.jsonl"):
+            archive.write_text("garbage\n")
+        # Wipe results so traces must be re-resolved, and forget the
+        # in-process memo so the corrupted archives are actually read.
+        for entry in (store.root / "results").glob("*.jsonl"):
+            entry.unlink()
+        clear_process_memo()
+
+        rebuilt = api.run_table("table1", sizes=small_sizes, workers=1)
+        assert rebuilt.stats.traces_built > 0
+        assert rebuilt.stats.result_hits == 0
+
+    def test_cache_stores_loadable_traces(self, small_sizes):
+        plan = build_plan("table1", small_sizes)
+        store = DiskCache()
+        evaluate_cell(0, plan.cells[0], store)
+        cell = plan.cells[0]
+        trace = store.load_trace(trace_key(cell.loop, cell.n))
+        assert trace is not None
+        assert len(trace) > 0
+
+    def test_missing_cache_dir_is_a_cold_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "nowhere"))
+        run = api.run_table(
+            "table3", sizes={n: 8 for n in range(1, 15)}, workers=1,
+            stations=(1,),
+        )
+        assert run.stats.result_hits == 0
+        assert run.table.rows
+
+
+class TestDiskCacheUnit:
+    def test_result_round_trip(self, tmp_path):
+        store = DiskCache(tmp_path / "c")
+        key = {"kind": "cell", "x": 1}
+        assert store.load_result(key) is None
+        store.store_result(key, {"instructions": 10, "cycles": 40})
+        assert store.load_result(key) == {"instructions": 10, "cycles": 40}
+        assert store.counters()["result_hits"] == 1
+
+    def test_keys_are_order_insensitive(self, tmp_path):
+        store = DiskCache(tmp_path / "c")
+        a = store.result_path({"a": 1, "b": 2})
+        b = store.result_path({"b": 2, "a": 1})
+        assert a == b
+
+    def test_clear(self, tmp_path):
+        store = DiskCache(tmp_path / "c")
+        store.store_result({"k": 1}, {"v": 2})
+        store.clear()
+        assert store.load_result({"k": 1}) is None

@@ -1,9 +1,43 @@
-"""Tests for the command-line table runner."""
+"""Tests for the deprecated command-line table runner.
+
+``python -m repro.harness.runner`` must keep working, but only as a thin
+delegate to :func:`repro.api.run_table` (via the CLI's ``tables``
+implementation), printing a deprecation notice on stderr.
+"""
 
 import pytest
 
+import repro.api as api
 from repro.harness import runner
+from repro.harness.engine import EngineStats
 from repro.harness.tables import ResultTable
+
+
+def _fake_run(table_id: str) -> api.TableRun:
+    table = ResultTable(
+        table_id=table_id,
+        title="fake table",
+        columns=("M11BR5",),
+        rows=(("scalar/CRAY-like", {"M11BR5": 0.25}),),
+    )
+    stats = EngineStats(table_id=table_id, cells=1, workers=1)
+    reference = api.PAPER_TABLES.get(table_id)
+    return api.TableRun(table=table, stats=stats, reference=reference)
+
+
+@pytest.fixture
+def fake_run_table(monkeypatch):
+    calls = []
+
+    def fake(table_id, *, compare=False, workers=None, cache=True, **kw):
+        calls.append(
+            {"table_id": table_id, "compare": compare,
+             "workers": workers, "cache": cache}
+        )
+        return _fake_run(table_id)
+
+    monkeypatch.setattr(api, "run_table", fake)
+    return calls
 
 
 def test_rejects_unknown_table(capsys):
@@ -11,37 +45,37 @@ def test_rejects_unknown_table(capsys):
         runner.main(["table99"])
 
 
-def test_runs_a_table(monkeypatch, capsys):
-    fake = ResultTable(
-        table_id="table1",
-        title="fake table",
-        columns=("M11BR5",),
-        rows=(("scalar/CRAY-like", {"M11BR5": 0.25}),),
-    )
-    monkeypatch.setitem(runner.EXPERIMENTS, "table1", lambda: fake)
+def test_runs_a_table_via_api(fake_run_table, capsys):
     assert runner.main(["table1"]) == 0
-    out = capsys.readouterr().out
-    assert "fake table" in out
-    assert "0.25" in out
+    captured = capsys.readouterr()
+    assert "fake table" in captured.out
+    assert "0.25" in captured.out
+    assert [c["table_id"] for c in fake_run_table] == ["table1"]
 
 
-def test_compare_prints_paper_numbers(monkeypatch, capsys):
-    fake = ResultTable(
-        table_id="table1",
-        title="fake table",
-        columns=("M11BR5",),
-        rows=(("scalar/CRAY-like", {"M11BR5": 0.25}),),
-    )
-    monkeypatch.setitem(runner.EXPERIMENTS, "table1", lambda: fake)
+def test_prints_deprecation_notice(fake_run_table, capsys):
+    assert runner.main(["table1"]) == 0
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err
+    assert "python -m repro tables" in captured.err
+
+
+def test_compare_prints_paper_numbers(fake_run_table, capsys):
     assert runner.main(["table1", "--compare"]) == 0
     out = capsys.readouterr().out
     assert "Paper Table 1" in out
     assert "relative deviation" in out
+    assert fake_run_table[0]["compare"] is True
+
+
+def test_all_runs_every_table(fake_run_table, capsys):
+    assert runner.main(["all"]) == 0
+    assert [c["table_id"] for c in fake_run_table] == list(api.list_tables())
 
 
 def test_section33(monkeypatch, capsys):
     monkeypatch.setattr(
-        runner, "section33", lambda: {"scalar": 0.6, "vectorizable": 0.7}
+        api, "section33", lambda: {"scalar": 0.6, "vectorizable": 0.7}
     )
     assert runner.main(["section33"]) == 0
     out = capsys.readouterr().out
