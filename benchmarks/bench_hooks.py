@@ -1,0 +1,104 @@
+"""Disabled-hook overhead gate for the simulator event hooks.
+
+The event-hook plumbing in :meth:`ScoreboardMachine.simulate` must be
+free when no callback is attached.  This script measures the hooked
+issue loop (``simulate()`` with ``on_event=None``) against the seed
+implementation preserved verbatim as ``reference_simulate()``, over the
+full table-1 scoreboard workload (all 14 Livermore loops), and fails if
+the relative overhead exceeds the budget::
+
+    PYTHONPATH=src python benchmarks/bench_hooks.py --max-overhead 0.02
+
+CI runs exactly that.  Methodology: the two variants are timed in
+interleaved rounds and compared on their *minimum* round time -- the
+minimum is the least noisy location estimator on a shared machine, and
+interleaving cancels slow drift (thermal, other jobs).  Cycle counts are
+also asserted bit-identical, so the gate doubles as a correctness check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import config_by_name
+from repro.core.scoreboard import cray_like_machine
+from repro.kernels import ALL_LOOPS, build_kernel
+
+
+def build_workload(config_name: str):
+    """Verified traces for every loop at its default problem size."""
+    config = config_by_name(config_name)
+    traces = [build_kernel(loop, None).trace() for loop in ALL_LOOPS]
+    return traces, config
+
+
+def time_pass(fn, traces, config) -> float:
+    start = time.perf_counter()
+    for trace in traces:
+        fn(trace, config)
+    return time.perf_counter() - start
+
+
+def measure(rounds: int, config_name: str):
+    machine = cray_like_machine()
+    traces, config = build_workload(config_name)
+
+    # Correctness first: hooks-disabled must be bit-identical to the seed.
+    for trace in traces:
+        hooked = machine.simulate(trace, config)
+        reference = machine.reference_simulate(trace, config)
+        if hooked.cycles != reference.cycles:
+            raise SystemExit(
+                f"cycle mismatch on {trace.name}: "
+                f"simulate={hooked.cycles} reference={reference.cycles}"
+            )
+
+    hooked_times, reference_times = [], []
+    for _ in range(rounds):
+        hooked_times.append(time_pass(machine.simulate, traces, config))
+        reference_times.append(
+            time_pass(machine.reference_simulate, traces, config)
+        )
+    return min(hooked_times), min(reference_times)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=7,
+        help="interleaved timing rounds (min is compared; default 7)",
+    )
+    parser.add_argument(
+        "--config", default="M11BR5", help="machine config (default M11BR5)"
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail if (hooked-reference)/reference exceeds this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    hooked, reference = measure(args.rounds, args.config)
+    overhead = (hooked - reference) / reference
+    print(
+        f"scoreboard table-1 workload ({args.config}, "
+        f"min of {args.rounds} rounds):"
+    )
+    print(f"  reference (seed loop)    {reference * 1e3:8.2f} ms")
+    print(f"  simulate, hooks disabled {hooked * 1e3:8.2f} ms")
+    print(f"  overhead                 {overhead:+8.2%}")
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(
+            f"FAIL: disabled-hook overhead {overhead:.2%} exceeds budget "
+            f"{args.max_overhead:.2%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK" if args.max_overhead is None else
+          f"OK: within {args.max_overhead:.2%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

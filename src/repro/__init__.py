@@ -15,6 +15,8 @@ The package is organised bottom-up:
 * :mod:`repro.limits`  -- pseudo-dataflow / resource / serial limits;
 * :mod:`repro.harness` -- experiments regenerating Tables 1-8, paper data
   and comparison machinery (cell plans + the parallel engine);
+* :mod:`repro.obs`     -- observability: process-safe metrics, run/span
+  tracing, simulator event hooks, durable run manifests;
 * :mod:`repro.api`     -- the one public facade: ``run_table``,
   ``simulate``, ``limits``, ``list_machines`` and friends, with process
   fan-out and a persistent result store underneath.
@@ -42,7 +44,7 @@ Lower-level building blocks stay importable::
 # ``repro.api`` is the facade; its table/kernel entry points are also
 # re-exported at top level (``api.limits`` stays namespaced to avoid
 # shadowing the :mod:`repro.limits` subpackage).
-from . import api
+from . import api, obs
 from .api import (
     TableRun,
     list_machines,
@@ -115,6 +117,7 @@ __all__ = [
     "VECTORIZABLE_LOOPS",
     "api",
     "build_kernel",
+    "obs",
     "build_simulator",
     "list_machines",
     "list_tables",

@@ -4,10 +4,11 @@ For an issue-blocking machine every cycle in which no instruction issues
 is attributable to exactly one binding constraint (the one that set the
 blocked instruction's issue time): a RAW or WAW register hazard, a busy
 functional unit, a result-bus conflict, or an unresolved branch.  This
-module aggregates those per-instruction attributions
-(:class:`repro.core.scoreboard.IssueRecord`) into a breakdown -- the
-quantitative version of the paper's Section 6 discussion of what limits
-each organisation.
+module subscribes to the machine's typed event stream
+(:mod:`repro.obs.events`, adapted into per-instruction
+:class:`repro.core.scoreboard.IssueRecord`\\ s) and aggregates the
+attributions into a breakdown -- the quantitative version of the paper's
+Section 6 discussion of what limits each organisation.
 """
 
 from __future__ import annotations
@@ -16,8 +17,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.config import MachineConfig
-from ..core.scoreboard import IssueRecord, ScoreboardMachine, StallReason
-from ..core.scoreboard import cray_like_machine
+from ..core.scoreboard import (
+    EventRecorder,
+    IssueRecord,
+    ScoreboardMachine,
+    StallReason,
+    cray_like_machine,
+)
 from ..trace import Trace
 
 
@@ -82,7 +88,9 @@ def stall_breakdown(
     """
     machine = machine or cray_like_machine()
     records: List[IssueRecord] = []
-    result = machine.simulate_recorded(trace, config, records.append)
+    result = machine.simulate_observed(
+        trace, config, EventRecorder(records.append)
+    )
 
     stalled: Dict[StallReason, int] = {}
     for record in records:

@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core.config import MachineConfig
-from ..core.scoreboard import IssueRecord, ScoreboardMachine, cray_like_machine
+from ..core.scoreboard import (
+    EventRecorder,
+    IssueRecord,
+    ScoreboardMachine,
+    cray_like_machine,
+)
 from ..trace import Trace
 
 
@@ -20,10 +25,14 @@ def record_schedule(
     config: MachineConfig,
     machine: Optional[ScoreboardMachine] = None,
 ) -> List[IssueRecord]:
-    """Per-instruction issue records for *trace* on *machine*."""
+    """Per-instruction issue records for *trace* on *machine*.
+
+    Derived from the machine's typed event stream
+    (:mod:`repro.obs.events`) via :class:`~repro.core.scoreboard.EventRecorder`.
+    """
     machine = machine or cray_like_machine()
     records: List[IssueRecord] = []
-    machine.simulate_recorded(trace, config, records.append)
+    machine.simulate_observed(trace, config, EventRecorder(records.append))
     return records
 
 

@@ -20,6 +20,10 @@ Key facts:
 * Results and traces persist in a content-addressed store under
   ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``); pass ``cache=False``
   to opt out.  Cache state can only affect timing, never results.
+* ``observe=True`` additionally records a span trace and writes a durable
+  run manifest (config, git SHA, timings, metric snapshot) next to the
+  cache entries; :func:`list_runs` / :func:`find_run` read them back for
+  ``repro stats`` and ``repro trace-export``.
 """
 
 from __future__ import annotations
@@ -38,10 +42,12 @@ from .harness.plans import PLAN_BUILDERS, build_plan
 from .harness.tables import ResultTable, compare_tables
 from .kernels import build_kernel
 from .limits import LoopLimits, compute_limits
+from .obs.manifest import RunManifest, find_manifest, list_manifests
 from .trace import (
     DiskCache,
     Trace,
     TraceStats,
+    default_cache_dir,
     read_trace,
     trace_stats,
     write_trace,
@@ -50,13 +56,16 @@ from .trace import (
 Sizes = Optional[Mapping[int, int]]
 
 __all__ = [
+    "RunManifest",
     "TableRun",
     "UnknownSpecError",
     "capture",
     "disassemble",
+    "find_run",
     "kernel_stats",
     "limits",
     "list_machines",
+    "list_runs",
     "list_tables",
     "replay",
     "run_table",
@@ -77,6 +86,7 @@ class TableRun:
     table: ResultTable
     stats: EngineStats
     reference: Optional[ResultTable] = None
+    manifest: Optional[RunManifest] = None
 
     def comparison(self) -> List[Tuple[str, str, float, float]]:
         """(row, column, measured, paper) pairs, empty without a reference."""
@@ -112,6 +122,7 @@ def run_table(
     workers: Optional[int] = None,
     cache: bool = True,
     sizes: Sizes = None,
+    observe: bool = False,
     **plan_overrides,
 ) -> TableRun:
     """Regenerate one of the paper's tables.
@@ -122,6 +133,8 @@ def run_table(
         workers: process fan-out width (default ``os.cpu_count()``).
         cache: consult/feed the persistent store under ``REPRO_CACHE_DIR``.
         sizes: loop-number -> problem-size overrides (tests use this).
+        observe: record a span trace and write a durable run manifest
+            under the cache root; returned as ``run.manifest``.
         plan_overrides: table-specific sweep parameters (``stations``,
             ``ruu_sizes``, ``units``).
 
@@ -131,9 +144,14 @@ def run_table(
     """
     plan = build_plan(table_id, sizes, **plan_overrides)
     store = DiskCache() if cache else None
-    outcome = run_plan(plan, workers=workers, cache=store)
+    outcome = run_plan(plan, workers=workers, cache=store, observe=observe)
     reference = PAPER_TABLES.get(table_id) if compare else None
-    return TableRun(table=outcome.table, stats=outcome.stats, reference=reference)
+    return TableRun(
+        table=outcome.table,
+        stats=outcome.stats,
+        reference=reference,
+        manifest=outcome.manifest,
+    )
 
 
 def section33(sizes: Sizes = None) -> Dict[str, float]:
@@ -144,6 +162,23 @@ def section33(sizes: Sizes = None) -> Dict[str, float]:
 def paper_section33() -> Dict[str, float]:
     """The paper's reported Section 3.3 numbers."""
     return dict(PAPER_SECTION33)
+
+
+# ----------------------------------------------------------------------
+# Run manifests (observability)
+# ----------------------------------------------------------------------
+
+def list_runs(limit: Optional[int] = None) -> List[RunManifest]:
+    """Manifests of past ``observe=True`` runs, newest first.
+
+    Reads ``<cache root>/manifests``; corrupt files are skipped.
+    """
+    return list_manifests(default_cache_dir(), limit=limit)
+
+
+def find_run(run_id: str) -> Optional[RunManifest]:
+    """Look one run up by id (exact match or unique prefix)."""
+    return find_manifest(default_cache_dir(), run_id)
 
 
 # ----------------------------------------------------------------------

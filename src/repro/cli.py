@@ -4,10 +4,15 @@ Every subcommand is a thin wrapper over :mod:`repro.api` -- the CLI
 parses arguments and prints, the facade does the work:
 
 * ``tables``   -- regenerate any of the paper's tables in parallel with a
-  persistent result store (``--workers``, ``--no-cache``, ``--compare``);
+  persistent result store (``--workers``, ``--no-cache``, ``--compare``;
+  records a run manifest unless ``--no-observe``);
 * ``simulate`` -- run one kernel through one machine organisation;
 * ``disasm``   -- print a kernel's assembly listing;
-* ``stats``    -- dynamic instruction-mix statistics;
+* ``stats``    -- with ``--kernel``: dynamic instruction-mix statistics;
+  without: the run breakdown of past observed runs (timings, cache hit
+  rate, worker utilization) from the stored manifests;
+* ``trace-export`` -- export a run's span trace as Chrome ``trace_event``
+  JSON (``chrome://tracing`` / Perfetto) or the raw span payload;
 * ``limits``   -- pseudo-dataflow / resource / serial limits;
 * ``stalls``   -- stall attribution on an issue-blocking machine;
 * ``capture``  -- save a verified dynamic trace as JSON lines;
@@ -17,19 +22,24 @@ parses arguments and prints, the facade does the work:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from . import api
 from .kernels import ALL_LOOPS
+from .obs.tracing import spans_to_chrome
 from .trace import format_stats
 
 
-def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_kernel_arguments(
+    parser: argparse.ArgumentParser, *, required: bool = True
+) -> None:
     parser.add_argument(
         "--kernel",
         type=int,
-        required=True,
+        required=required,
         choices=ALL_LOOPS,
         help="Livermore loop number",
     )
@@ -91,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent result store under $REPRO_CACHE_DIR",
     )
+    tables.add_argument(
+        "--no-observe",
+        action="store_true",
+        help="skip recording the run trace and manifest",
+    )
 
     simulate = sub.add_parser("simulate", help="time one kernel on one machine")
     _add_kernel_arguments(simulate)
@@ -104,8 +119,46 @@ def build_parser() -> argparse.ArgumentParser:
     disasm = sub.add_parser("disasm", help="print a kernel's assembly")
     _add_kernel_arguments(disasm)
 
-    stats = sub.add_parser("stats", help="dynamic instruction-mix statistics")
-    _add_kernel_arguments(stats)
+    stats = sub.add_parser(
+        "stats",
+        help=(
+            "instruction-mix statistics (--kernel) or the run breakdown "
+            "of past observed runs (no --kernel)"
+        ),
+    )
+    _add_kernel_arguments(stats, required=False)
+    stats.add_argument(
+        "--run",
+        default=None,
+        help="show one run by id (or unique prefix) instead of the latest",
+    )
+    stats.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="how many past runs to list (default 10)",
+    )
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="export a run's span trace (Chrome trace_event or raw JSON)",
+    )
+    trace_export.add_argument(
+        "--run",
+        default=None,
+        help="run id or unique prefix (default: the latest observed run)",
+    )
+    trace_export.add_argument(
+        "--format",
+        choices=("chrome", "json"),
+        default="chrome",
+        help="chrome trace_event (default) or the raw span payload",
+    )
+    trace_export.add_argument(
+        "--out",
+        default="-",
+        help="output path (default: stdout)",
+    )
 
     limits = sub.add_parser("limits", help="dataflow/resource/serial limits")
     _add_kernel_arguments(limits)
@@ -133,6 +186,7 @@ def run_tables(
     compare: bool = False,
     workers: Optional[int] = None,
     cache: bool = True,
+    observe: bool = True,
 ) -> int:
     """The ``tables`` subcommand: print tables (or the section 3.3 quote)."""
     if table == "section33":
@@ -149,10 +203,122 @@ def run_tables(
     targets = api.list_tables() if table == "all" else (table,)
     for table_id in targets:
         run = api.run_table(
-            table_id, compare=compare, workers=workers, cache=cache
+            table_id,
+            compare=compare,
+            workers=workers,
+            cache=cache,
+            observe=observe,
         )
         print(run.render_report(compare=compare))
         print()
+    return 0
+
+
+def _format_run_line(manifest) -> str:
+    hit_rate = manifest.cache_hit_rate
+    hit = f"{hit_rate:.0%}" if hit_rate is not None else "n/a"
+    utils = manifest.worker_utilization.values()
+    util = f"{sum(utils) / len(utils):.0%}" if utils else "n/a"
+    wall = manifest.timings.get("wall_seconds", 0.0)
+    cells = manifest.config.get("cells", 0)
+    return (
+        f"  {manifest.run_id:<42} {manifest.table_id:<9} "
+        f"{wall:>7.2f}s  {cells:>4} cells  hit {hit:>4}  util {util:>4}"
+    )
+
+
+def _render_run_detail(manifest, *, top: int = 10) -> str:
+    lines = [
+        f"run {manifest.run_id} ({manifest.table_id}, {manifest.created})",
+        f"  git: {manifest.git_sha or 'unknown'}",
+        f"  workers: {manifest.config.get('workers', '?')}, "
+        f"cache: {'on' if manifest.config.get('cache_enabled') else 'off'}",
+    ]
+    timings = manifest.timings
+    lines.append(
+        f"  wall {timings.get('wall_seconds', 0.0):.2f}s, "
+        f"cell time {timings.get('cell_seconds', 0.0):.2f}s "
+        f"(max {timings.get('max_cell_seconds', 0.0):.3f}s), "
+        f"queue wait {timings.get('queue_wait_seconds', 0.0):.3f}s"
+    )
+    hit_rate = manifest.cache_hit_rate
+    hits = manifest.counter("cache.result.hits")
+    misses = manifest.counter("cache.result.misses")
+    corrupt = manifest.counter(
+        "cache.result.corruptions"
+    ) + manifest.counter("cache.trace.corruptions")
+    rate = f"{hit_rate:.1%}" if hit_rate is not None else "n/a"
+    lines.append(
+        f"  result cache: {hits:.0f} hit / {misses:.0f} miss "
+        f"(hit rate {rate}; {corrupt:.0f} corrupt rebuilt)"
+    )
+    utilization = manifest.worker_utilization
+    if utilization:
+        shares = ", ".join(
+            f"{pid}: {share:.0%}" for pid, share in sorted(utilization.items())
+        )
+        lines.append(f"  worker utilization: {shares}")
+    cells = manifest.cell_timings()
+    if cells:
+        lines.append(f"  slowest cells (of {len(cells)}):")
+        for cell in cells[:top]:
+            lines.append(
+                f"    {cell['name']:<34} {cell['seconds']:>8.3f}s  "
+                f"pid {cell['pid']}"
+            )
+    return "\n".join(lines)
+
+
+def run_stats(run_id: Optional[str], limit: int) -> int:
+    """``stats`` without ``--kernel``: render the stored run manifests."""
+    if run_id is not None:
+        manifest = api.find_run(run_id)
+        if manifest is None:
+            print(f"error: no run matching {run_id!r}", file=sys.stderr)
+            return 2
+        print(_render_run_detail(manifest))
+        return 0
+    manifests = api.list_runs(limit=limit)
+    if not manifests:
+        print(
+            "no observed runs yet -- run `python -m repro tables <id>` "
+            "(observation is on by default)"
+        )
+        return 0
+    print("observed runs (newest first):")
+    for manifest in manifests:
+        print(_format_run_line(manifest))
+    print()
+    print(_render_run_detail(manifests[0]))
+    return 0
+
+
+def run_trace_export(run_id: Optional[str], fmt: str, out: str) -> int:
+    """``trace-export``: write a run's span trace as JSON."""
+    if run_id is not None:
+        manifest = api.find_run(run_id)
+    else:
+        runs = api.list_runs(limit=1)
+        manifest = runs[0] if runs else None
+    if manifest is None:
+        target = f"run matching {run_id!r}" if run_id else "observed runs"
+        print(f"error: no {target}", file=sys.stderr)
+        return 2
+    if fmt == "chrome":
+        payload = spans_to_chrome(manifest.spans)
+    else:
+        payload = {"run_id": manifest.run_id, "spans": manifest.spans}
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if out == "-":
+        print(text)
+    else:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {len(manifest.spans)} spans ({fmt}) "
+            f"for {manifest.run_id} to {out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -163,6 +329,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except api.UnknownSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reader went away (e.g. ``repro stats | head``); stdout is gone,
+        # so detach it before interpreter shutdown tries to flush it.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 def _dispatch(args) -> int:
@@ -172,7 +344,11 @@ def _dispatch(args) -> int:
             compare=args.compare,
             workers=args.workers,
             cache=not args.no_cache,
+            observe=not args.no_observe,
         )
+
+    if args.command == "trace-export":
+        return run_trace_export(args.run, args.format, args.out)
 
     if args.command == "replay":
         print(api.replay(args.trace, args.machine, config=args.config))
@@ -188,6 +364,8 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "stats":
+        if args.kernel is None:
+            return run_stats(args.run, args.limit)
         kwargs = _kernel_kwargs(args)
         kwargs.pop("explicit_addressing")
         print(format_stats(api.kernel_stats(args.kernel, **kwargs)))

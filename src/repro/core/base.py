@@ -9,7 +9,9 @@ state lives inside :meth:`Simulator.simulate`.
 from __future__ import annotations
 
 import abc
+from typing import Optional
 
+from ..obs.events import EventCallback
 from ..trace import Trace
 from .config import MachineConfig
 from .result import SimulationResult
@@ -32,7 +34,18 @@ def require_scalar_trace(trace: Trace, machine_name: str) -> None:
 
 
 class Simulator(abc.ABC):
-    """A timing model for one instruction-issue method."""
+    """A timing model for one instruction-issue method.
+
+    Every simulator exposes an optional event hook: set :attr:`on_event`
+    to an :data:`repro.obs.events.EventCallback` and :meth:`simulate`
+    emits typed issue/stall/complete/flush events
+    (:class:`repro.obs.events.SimEvent`) as it models the run.  The hook
+    is observational only -- it never changes timing -- and the disabled
+    path costs one ``is not None`` test per instruction.
+    """
+
+    #: Optional observer for typed simulator events (None = disabled).
+    on_event: Optional[EventCallback] = None
 
     @property
     @abc.abstractmethod
@@ -42,6 +55,25 @@ class Simulator(abc.ABC):
     @abc.abstractmethod
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
         """Replay *trace* and return the timing outcome."""
+
+    def simulate_observed(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        on_event: Optional[EventCallback],
+    ) -> SimulationResult:
+        """Run :meth:`simulate` with *on_event* installed for the call.
+
+        The previous hook is restored afterwards, so a shared simulator
+        instance is safe to observe temporarily (this is how
+        :mod:`repro.analysis` attaches itself).
+        """
+        previous = self.on_event
+        self.on_event = on_event
+        try:
+            return self.simulate(trace, config)
+        finally:
+            self.on_event = previous
 
     def issue_rate(self, trace: Trace, config: MachineConfig) -> float:
         """Convenience: just the issue rate."""

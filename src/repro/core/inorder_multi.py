@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..isa import FunctionalUnit, Register
+from ..obs.events import EventKind, SimEvent
 from ..trace import Trace, TraceEntry
 from .base import Simulator, require_scalar_trace
 from .buses import BusKind, ResultBuses
@@ -49,6 +50,7 @@ class InOrderMultiIssueMachine(Simulator):
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
         require_scalar_trace(trace, self.name)
+        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
 
@@ -93,6 +95,12 @@ class InOrderMultiIssueMachine(Simulator):
                     buses.reserve(slot, complete)
                 if not instr.is_branch and complete > last_event:
                     last_event = complete
+                if emit is not None:
+                    emit(SimEvent(EventKind.ISSUE, entry.seq, cycle))
+                    emit(SimEvent(
+                        EventKind.COMPLETE, entry.seq,
+                        cycle + branch_latency if instr.is_branch else complete,
+                    ))
                 slot += 1
 
                 if instr.is_branch:
@@ -102,6 +110,14 @@ class InOrderMultiIssueMachine(Simulator):
                     cycle = resolve
                     if entry.taken:
                         flushed = True
+                        if emit is not None:
+                            # The remaining fetch slots are discarded and
+                            # fetch redirects to the branch target.
+                            emit(SimEvent(
+                                EventKind.FLUSH, entry.seq, resolve,
+                                reason="TAKEN_BRANCH",
+                                cycles=self.issue_units - slot,
+                            ))
                         break
 
             issued = slot if flushed else len(buffer)

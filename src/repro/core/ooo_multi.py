@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..isa import FunctionalUnit, Register
+from ..obs.events import EventKind, SimEvent
 from ..trace import Trace, TraceEntry
 from .base import Simulator, require_scalar_trace
 from .buses import BusKind, ResultBuses
@@ -66,6 +67,7 @@ class OutOfOrderMultiIssueMachine(Simulator):
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
         require_scalar_trace(trace, self.name)
+        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
 
@@ -122,6 +124,13 @@ class OutOfOrderMultiIssueMachine(Simulator):
                         buses.reserve(slot, complete)
                     if not instr.is_branch and complete > last_event:
                         last_event = complete
+                    if emit is not None:
+                        emit(SimEvent(EventKind.ISSUE, entry.seq, cycle))
+                        emit(SimEvent(
+                            EventKind.COMPLETE, entry.seq,
+                            cycle + branch_latency if instr.is_branch
+                            else complete,
+                        ))
                     if instr.is_branch:
                         resolve = cycle + branch_latency
                         branch_resolve[slot] = resolve
@@ -132,6 +141,16 @@ class OutOfOrderMultiIssueMachine(Simulator):
                 if remaining:
                     cycle += 1
 
+            if emit is not None and buffer:
+                tail = buffer[-1]
+                if tail.is_branch and tail.taken:
+                    # Fetch redirected at the taken branch: the rest of
+                    # the fetch group never entered the buffer.
+                    emit(SimEvent(
+                        EventKind.FLUSH, tail.seq, barrier,
+                        reason="TAKEN_BRANCH",
+                        cycles=self.issue_units - len(buffer),
+                    ))
             pos += len(buffer)
             # The next buffer is available the cycle after the last issue,
             # but never before every branch in this buffer has resolved

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import A0, FunctionalUnit, Register
+from ..obs.events import EventKind, SimEvent
 from ..trace import Trace
 from .base import Simulator, require_scalar_trace
 from .buses import BusKind, SlotPerCycle
@@ -156,6 +157,7 @@ class RUUMachine(Simulator):
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
         require_scalar_trace(trace, self.name)
+        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
         width = self.path_width
@@ -227,6 +229,8 @@ class RUUMachine(Simulator):
                 commits += 1
                 if cycle > last_commit:
                     last_commit = cycle
+                if emit is not None:
+                    emit(SimEvent(EventKind.COMPLETE, entry.seq, cycle))
             if head > 4096 and head * 2 > len(ruu):
                 del ruu[:head]
                 head = 0
@@ -297,6 +301,13 @@ class RUUMachine(Simulator):
                         issue_resume = resume
                         if issue_resume > last_commit:
                             last_commit = issue_resume
+                        if emit is not None:
+                            emit(SimEvent(EventKind.ISSUE, t_entry.seq, cycle))
+                            if not predicted_correct.get(t_entry.seq, True):
+                                emit(SimEvent(
+                                    EventKind.FLUSH, t_entry.seq, cycle,
+                                    reason="MISPREDICT",
+                                ))
                         pos += 1
                         issued += 1
                         break
@@ -310,6 +321,8 @@ class RUUMachine(Simulator):
                         # bounds the machine's finish time (a trace ending
                         # in a branch ends when the branch resolves).
                         last_commit = issue_resume
+                    if emit is not None:
+                        emit(SimEvent(EventKind.ISSUE, t_entry.seq, cycle))
                     pos += 1
                     issued += 1
                     break  # nothing issues behind an unresolved branch
@@ -340,6 +353,8 @@ class RUUMachine(Simulator):
                         entry.operands_ready = ready
                 ruu.append(entry)
                 live += 1
+                if emit is not None:
+                    emit(SimEvent(EventKind.ISSUE, entry.seq, cycle))
                 pos += 1
                 issued += 1
                 if entry.pending == 0:
@@ -351,8 +366,18 @@ class RUUMachine(Simulator):
             if pos < n_entries and issued == 0:
                 if cycle < issue_resume:
                     branch_stall_cycles += 1
+                    if emit is not None:
+                        emit(SimEvent(
+                            EventKind.STALL, pos, cycle,
+                            reason="BRANCH", cycles=1,
+                        ))
                 elif live >= self.ruu_size:
                     full_stall_cycles += 1
+                    if emit is not None:
+                        emit(SimEvent(
+                            EventKind.STALL, pos, cycle,
+                            reason="RUU_FULL", cycles=1,
+                        ))
             cycle += 1
 
         cycles = max(last_commit, 1)

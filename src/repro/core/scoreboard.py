@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from ..isa import FunctionalUnit, Register
+from ..obs.events import EventCallback, EventKind, SimEvent, tee
 from ..trace import Trace
 from .base import Simulator
 from .config import MachineConfig
@@ -69,6 +70,43 @@ class IssueRecord:
 
 #: Callback receiving one IssueRecord per simulated instruction.
 ScheduleRecorder = Callable[[IssueRecord], None]
+
+
+class EventRecorder:
+    """Adapts the typed event stream back into :class:`IssueRecord`\\ s.
+
+    The scoreboard emits, per instruction and in order: an optional
+    ``STALL`` (when issue was delayed), an ``ISSUE``, then a
+    ``COMPLETE``.  This adapter folds that triple back into the
+    per-instruction record shape that :mod:`repro.analysis` aggregates,
+    so stall attribution and timelines consume the same stream as any
+    other event subscriber.
+    """
+
+    def __init__(self, recorder: ScheduleRecorder) -> None:
+        self._recorder = recorder
+        self._issue_cycle = 0
+        self._stall = StallReason.NONE
+        self._stall_cycles = 0
+
+    def __call__(self, event: SimEvent) -> None:
+        if event.kind is EventKind.STALL:
+            self._stall = StallReason[event.reason]
+            self._stall_cycles = event.cycles
+        elif event.kind is EventKind.ISSUE:
+            self._issue_cycle = event.cycle
+        elif event.kind is EventKind.COMPLETE:
+            self._recorder(
+                IssueRecord(
+                    seq=event.seq,
+                    issue=self._issue_cycle,
+                    complete=event.cycle,
+                    stall=self._stall,
+                    stall_cycles=self._stall_cycles,
+                )
+            )
+            self._stall = StallReason.NONE
+            self._stall_cycles = 0
 
 
 class ScoreboardMachine(Simulator):
@@ -124,7 +162,7 @@ class ScoreboardMachine(Simulator):
 
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
-        return self.simulate_recorded(trace, config, None)
+        return self._simulate(trace, config, self.on_event)
 
     def simulate_recorded(
         self,
@@ -134,7 +172,26 @@ class ScoreboardMachine(Simulator):
     ) -> SimulationResult:
         """Like :meth:`simulate`, optionally emitting an
         :class:`IssueRecord` per instruction (used by
-        :mod:`repro.analysis` for stall attribution and timelines)."""
+        :mod:`repro.analysis` for stall attribution and timelines).
+
+        The records are derived from the same typed event stream any
+        ``on_event`` subscriber sees, via :class:`EventRecorder`; an
+        installed ``on_event`` hook keeps receiving events alongside.
+        """
+        if recorder is None:
+            emit = self.on_event
+        elif self.on_event is None:
+            emit: Optional[EventCallback] = EventRecorder(recorder)
+        else:
+            emit = tee(self.on_event, EventRecorder(recorder))
+        return self._simulate(trace, config, emit)
+
+    def _simulate(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        emit: Optional[EventCallback],
+    ) -> SimulationResult:
         latencies = config.latencies
         branch_latency = config.branch_latency
 
@@ -146,6 +203,18 @@ class ScoreboardMachine(Simulator):
         prev_issue = -1
         after_branch = False
         last_event = 0
+        # Hoisted so reason tracking costs local stores, not enum
+        # attribute lookups; with no subscriber the per-instruction price
+        # of the hook plumbing is just the `emit is not None` tests
+        # (bench_hooks.py gates that price in CI).
+        tracking = emit is not None
+        reason_none = StallReason.NONE
+        reason_raw = StallReason.RAW
+        reason_waw = StallReason.WAW
+        reason_unit = StallReason.UNIT
+        reason_bus = StallReason.BUS
+        reason_branch = StallReason.BRANCH
+        reason = reason_none
 
         for entry in trace:
             instr = entry.instruction
@@ -158,27 +227,26 @@ class ScoreboardMachine(Simulator):
             )
 
             earliest = next_issue
-            reason = StallReason.BRANCH if after_branch else StallReason.NONE
             for src in instr.source_registers:
                 ready = reg_ready.get(src, 0)
                 if ready > earliest:
                     earliest = ready
-                    reason = StallReason.RAW
+                    reason = reason_raw
             if instr.dest is not None:
                 ready = reg_write_done.get(
                     instr.dest, reg_ready.get(instr.dest, 0)
                 )
                 if ready > earliest:
                     earliest = ready
-                    reason = StallReason.WAW
+                    reason = reason_waw
             unit_free = fu_free.get(unit, 0)
             if unit_free > earliest:
                 earliest = unit_free
-                reason = StallReason.UNIT
+                reason = reason_unit
             if self.model_result_bus and uses_bus:
                 while earliest + latency in bus_reserved:
                     earliest += 1
-                    reason = StallReason.BUS
+                    reason = reason_bus
 
             issue = earliest
             # A vector operation streams vl elements: its full result
@@ -219,18 +287,110 @@ class ScoreboardMachine(Simulator):
             if complete > last_event:
                 last_event = complete
 
-            if recorder is not None:
-                stall_cycles = max(0, issue - (prev_issue + 1))
-                recorder(
-                    IssueRecord(
-                        seq=entry.seq,
-                        issue=issue,
-                        complete=complete,
-                        stall=reason if stall_cycles else StallReason.NONE,
-                        stall_cycles=stall_cycles,
-                    )
+            if tracking:
+                stall_cycles = issue - prev_issue - 1
+                if stall_cycles > 0:
+                    emit(SimEvent(
+                        EventKind.STALL, entry.seq, issue,
+                        reason=reason.name, cycles=stall_cycles,
+                    ))
+                emit(SimEvent(EventKind.ISSUE, entry.seq, issue))
+                emit(SimEvent(EventKind.COMPLETE, entry.seq, complete))
+                prev_issue = issue
+                # Seed the next instruction's binding constraint here (one
+                # tracking test per instruction, not two): `after_branch`
+                # already reflects the instruction just handled.
+                reason = reason_branch if after_branch else reason_none
+
+        return SimulationResult(
+            trace_name=trace.name,
+            simulator=self.name,
+            config=config,
+            instructions=len(trace),
+            cycles=last_event,
+        )
+
+    # ------------------------------------------------------------------
+    def reference_simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """The seed implementation, kept verbatim with no hook plumbing.
+
+        This is the golden baseline for the event-hook work: tests assert
+        :meth:`simulate` (hooks disabled) is bit-identical to it, and
+        ``benchmarks/bench_hooks.py`` measures the disabled-hook overhead
+        against it (CI gates at <2%).  Keep it in lockstep with any
+        timing-model change to :meth:`_simulate`.
+        """
+        latencies = config.latencies
+        branch_latency = config.branch_latency
+
+        reg_ready: Dict[Register, int] = {}
+        reg_write_done: Dict[Register, int] = {}
+        fu_free: Dict[FunctionalUnit, int] = {}
+        bus_reserved: Set[int] = set()
+        next_issue = 0
+        last_event = 0
+
+        for entry in trace:
+            instr = entry.instruction
+            unit = instr.unit
+            latency = instr.latency(latencies)
+            is_vector = instr.is_vector
+            vl = entry.vector_length if is_vector else 0
+            uses_bus = instr.dest is not None and not is_vector and (
+                instr.dest.is_address or instr.dest.is_scalar
+            )
+
+            earliest = next_issue
+            for src in instr.source_registers:
+                ready = reg_ready.get(src, 0)
+                if ready > earliest:
+                    earliest = ready
+            if instr.dest is not None:
+                ready = reg_write_done.get(
+                    instr.dest, reg_ready.get(instr.dest, 0)
                 )
-            prev_issue = issue
+                if ready > earliest:
+                    earliest = ready
+            unit_free = fu_free.get(unit, 0)
+            if unit_free > earliest:
+                earliest = unit_free
+            if self.model_result_bus and uses_bus:
+                while earliest + latency in bus_reserved:
+                    earliest += 1
+
+            issue = earliest
+            complete = issue + latency + (vl if is_vector else 0)
+            if self.model_result_bus and uses_bus:
+                bus_reserved.add(complete)
+
+            if unit is FunctionalUnit.MEMORY:
+                pipelined = self.memory_interleaved
+            elif unit is FunctionalUnit.BRANCH:
+                pipelined = True
+            else:
+                pipelined = self.fu_pipelined or latency <= 1
+            if is_vector:
+                fu_free[unit] = issue + vl if pipelined else complete
+            else:
+                fu_free[unit] = issue + 1 if pipelined else complete
+
+            if instr.dest is not None:
+                if is_vector and self.vector_chaining:
+                    reg_ready[instr.dest] = issue + latency
+                else:
+                    reg_ready[instr.dest] = complete
+                reg_write_done[instr.dest] = complete
+
+            if instr.is_branch:
+                next_issue = issue + branch_latency
+                complete = issue + branch_latency
+            else:
+                next_issue = issue + 1
+
+            if complete > last_event:
+                last_event = complete
 
         return SimulationResult(
             trace_name=trace.name,

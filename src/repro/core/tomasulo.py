@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import FunctionalUnit, Register
+from ..obs.events import EventKind, SimEvent
 from ..trace import Trace
 from .base import Simulator, require_scalar_trace
 from .buses import SlotPerCycle
@@ -74,6 +75,7 @@ class TomasuloMachine(Simulator):
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
         require_scalar_trace(trace, self.name)
+        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
 
@@ -156,6 +158,8 @@ class TomasuloMachine(Simulator):
                 in_flight -= 1
                 if release > last_event:
                     last_event = release
+                if emit is not None:
+                    emit(SimEvent(EventKind.COMPLETE, station.seq, release))
 
             # ---- issue: one instruction per cycle ------------------------
             if pos < len(entries) and cycle >= issue_resume:
@@ -171,7 +175,14 @@ class TomasuloMachine(Simulator):
                         issue_resume = resolve
                         if resolve > last_event:
                             last_event = resolve
+                        if emit is not None:
+                            emit(SimEvent(EventKind.ISSUE, pos, cycle))
                         pos += 1
+                    elif emit is not None:
+                        emit(SimEvent(
+                            EventKind.STALL, pos, cycle,
+                            reason="BRANCH", cycles=1,
+                        ))
                 elif station_available(instr.unit):
                     latency = instr.latency(latencies)
                     dest_tag = None
@@ -197,12 +208,23 @@ class TomasuloMachine(Simulator):
                             station.operands_ready = ready
                     busy_count[instr.unit] = busy_count.get(instr.unit, 0) + 1
                     in_flight += 1
+                    if emit is not None:
+                        emit(SimEvent(EventKind.ISSUE, pos, cycle))
                     pos += 1
                     if station.pending == 0:
                         heapq.heappush(
                             ready_heap,
                             (station.operands_ready, station.seq, station),
                         )
+                elif emit is not None:
+                    emit(SimEvent(
+                        EventKind.STALL, pos, cycle,
+                        reason="STATIONS_FULL", cycles=1,
+                    ))
+            elif emit is not None and pos < len(entries):
+                emit(SimEvent(
+                    EventKind.STALL, pos, cycle, reason="BRANCH", cycles=1,
+                ))
 
             cycle += 1
             if cycle > _MAX_CYCLES:  # pragma: no cover - bug trap

@@ -13,7 +13,17 @@ output is therefore bit-identical to serial output.
 Persistence: when given a :class:`~repro.trace.DiskCache`, workers look
 up each cell result (and each trace) by content hash before computing,
 and store whatever they had to compute.  A corrupted or missing entry is
-indistinguishable from a cold cache -- it only costs time.
+indistinguishable from a cold cache -- it only costs time (and is
+counted: corruption rebuilds surface in the metrics and the footer).
+
+Observability: every evaluation aggregates structured metrics
+(:mod:`repro.obs.metrics`) -- per-cell wall time, queue wait, cache
+hit/miss/corruption counts, per-worker utilization -- and, with
+``observe=True``, records a span trace (plan -> cell -> simulate/limits)
+and writes a durable run manifest next to the cache entries
+(:mod:`repro.obs.manifest`).  Workers ship their measurements back inside
+each :class:`CellOutcome` (plain picklable data); the parent merges, so
+no cross-process state is ever shared.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -28,7 +39,15 @@ from ..core import config_by_name
 from ..core.registry import build_simulator
 from ..kernels import build_kernel
 from ..limits import compute_limits
-from ..trace import DiskCache, Trace
+from ..obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    current_git_sha,
+    new_run_id,
+    write_manifest,
+)
+from ..trace import DiskCache, Trace, default_cache_dir
 from .aggregate import harmonic_mean
 from .plans import Cell, ExperimentPlan
 from .tables import ResultTable
@@ -38,6 +57,16 @@ from .tables import ResultTable
 RESULT_SCHEMA_VERSION = 1
 
 _LIMIT_COLUMNS = ("pseudo-dataflow", "resource", "actual")
+
+#: DiskCache counter key -> metric name published per cell.
+_CACHE_METRIC_NAMES = {
+    "trace_hits": "cache.trace.hits",
+    "trace_misses": "cache.trace.misses",
+    "trace_corruptions": "cache.trace.corruptions",
+    "result_hits": "cache.result.hits",
+    "result_misses": "cache.result.misses",
+    "result_corruptions": "cache.result.corruptions",
+}
 
 
 def default_workers() -> int:
@@ -80,13 +109,25 @@ def cell_key(cell: Cell) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """What evaluating one cell produced (plus bookkeeping)."""
+    """What evaluating one cell produced (plus bookkeeping).
+
+    ``started``/``ended`` and the span endpoints are ``time.monotonic()``
+    readings; with the default ``fork`` start method that clock is
+    system-wide, so the parent can nest worker spans directly under its
+    own run trace.
+    """
 
     index: int
     values: Mapping[str, float]
     seconds: float
     result_hit: bool
     trace_source: str  # "memo" | "disk" | "built" | "cached-result"
+    pid: int = 0
+    queue_wait: float = 0.0
+    started: float = 0.0
+    ended: float = 0.0
+    spans: Tuple[Tuple[str, float, float], ...] = ()
+    metrics: Mapping[str, float] = field(default_factory=dict)
 
 
 #: Per-process trace memo: (loop, n) -> verified Trace.  With the default
@@ -130,12 +171,18 @@ def _resolve_trace(
 
 
 def _compute_record(
-    cell: Cell, cache: Optional[DiskCache]
+    cell: Cell,
+    cache: Optional[DiskCache],
+    spans: List[Tuple[str, float, float]],
 ) -> Tuple[Dict[str, Any], str]:
+    mark = time.monotonic()
     trace, source = _resolve_trace(cell.loop, cell.n, cache)
+    spans.append((f"trace:resolve:{cell.loop}", mark, time.monotonic()))
     config = config_by_name(cell.config)
     if cell.is_limits:
+        mark = time.monotonic()
         report = compute_limits(trace, config, serial=cell.serial)
+        spans.append(("limits", mark, time.monotonic()))
         return {
             "limits": {
                 "pseudo-dataflow": report.pseudo_dataflow_rate,
@@ -143,7 +190,9 @@ def _compute_record(
                 "actual": report.actual_rate,
             }
         }, source
+    mark = time.monotonic()
     result = build_simulator(cell.machine).simulate(trace, config)
+    spans.append((f"simulate:{cell.machine}", mark, time.monotonic()))
     return {
         "trace": result.trace_name,
         "simulator": result.simulator,
@@ -161,40 +210,69 @@ def _values_from_record(cell: Cell, record: Mapping[str, Any]) -> Dict[str, floa
 
 
 def evaluate_cell(
-    index: int, cell: Cell, cache: Optional[DiskCache]
+    index: int,
+    cell: Cell,
+    cache: Optional[DiskCache],
+    *,
+    enqueued: Optional[float] = None,
 ) -> CellOutcome:
-    """Evaluate one cell, consulting and feeding the cache if given."""
+    """Evaluate one cell, consulting and feeding the cache if given.
+
+    *enqueued* is the parent's ``time.monotonic()`` reading when the cell
+    was handed to the pool; the difference to the worker's start is the
+    cell's queue wait.
+    """
+    started = time.monotonic()
     start = time.perf_counter()
+    queue_wait = max(0.0, started - enqueued) if enqueued is not None else 0.0
+    counters_before = cache.counters() if cache is not None else None
+    spans: List[Tuple[str, float, float]] = []
+
+    def finish(
+        values: Mapping[str, float], result_hit: bool, trace_source: str
+    ) -> CellOutcome:
+        ended = time.monotonic()
+        metrics: Dict[str, float] = {}
+        if counters_before is not None:
+            after = cache.counters()
+            for key, name in _CACHE_METRIC_NAMES.items():
+                delta = after.get(key, 0) - counters_before.get(key, 0)
+                if delta:
+                    metrics[name] = float(delta)
+        return CellOutcome(
+            index=index,
+            values=values,
+            seconds=time.perf_counter() - start,
+            result_hit=result_hit,
+            trace_source=trace_source,
+            pid=os.getpid(),
+            queue_wait=queue_wait,
+            started=started,
+            ended=ended,
+            spans=tuple(spans),
+            metrics=metrics,
+        )
+
     record = cache.load_result(cell_key(cell)) if cache is not None else None
     if record is not None:
         try:
             values = _values_from_record(cell, record)
-            return CellOutcome(
-                index=index,
-                values=values,
-                seconds=time.perf_counter() - start,
-                result_hit=True,
-                trace_source="cached-result",
-            )
+            return finish(values, True, "cached-result")
         except (KeyError, TypeError, ValueError, ZeroDivisionError):
             # A record that does not decode cleanly is treated exactly
             # like a miss: recompute and overwrite it.
             record = None
-    record, source = _compute_record(cell, cache)
+    record, source = _compute_record(cell, cache, spans)
     if cache is not None:
         cache.store_result(cell_key(cell), record)
-    return CellOutcome(
-        index=index,
-        values=_values_from_record(cell, record),
-        seconds=time.perf_counter() - start,
-        result_hit=False,
-        trace_source=source,
-    )
+    return finish(_values_from_record(cell, record), False, source)
 
 
-def _evaluate_in_pool(payload: Tuple[int, Cell]) -> CellOutcome:
-    index, cell = payload
-    return evaluate_cell(index, cell, _WORKER_CACHE)
+def _evaluate_in_pool(
+    payload: Tuple[int, Cell, Optional[float]]
+) -> CellOutcome:
+    index, cell, enqueued = payload
+    return evaluate_cell(index, cell, _WORKER_CACHE, enqueued=enqueued)
 
 
 # ----------------------------------------------------------------------
@@ -215,10 +293,25 @@ class EngineStats:
     traces_built: int = 0
     traces_loaded: int = 0
     cache_enabled: bool = False
+    corrupt_rebuilds: int = 0
+    queue_wait_seconds: float = 0.0
+    worker_utilization: Dict[int, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def result_misses(self) -> int:
         return self.cells - self.result_hits
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        return self.result_hits / self.cells if self.cells else None
+
+    @property
+    def mean_worker_utilization(self) -> float:
+        if not self.worker_utilization:
+            return 0.0
+        values = self.worker_utilization.values()
+        return sum(values) / len(values)
 
     def footer(self) -> str:
         if self.cache_enabled:
@@ -227,6 +320,8 @@ class EngineStats:
                 f"{self.result_misses} miss; traces {self.traces_built} "
                 f"built, {self.traces_loaded} loaded"
             )
+            if self.corrupt_rebuilds:
+                cache += f"; {self.corrupt_rebuilds} corrupt rebuilt"
         else:
             cache = "cache disabled"
         return (
@@ -243,6 +338,7 @@ class PlanRun:
 
     table: ResultTable
     stats: EngineStats
+    manifest: Optional[RunManifest] = None
 
 
 def merge_outcomes(
@@ -275,25 +371,139 @@ def merge_outcomes(
     )
 
 
+def _aggregate_metrics(
+    plan: ExperimentPlan,
+    outcomes: List[CellOutcome],
+    wall_seconds: float,
+    workers: int,
+    cache_enabled: bool,
+) -> MetricsRegistry:
+    """Fold per-cell measurements into one run-level registry."""
+    registry = MetricsRegistry()
+    registry.inc("engine.cells.total", len(outcomes))
+    registry.inc(
+        "engine.cells.result_hits",
+        sum(1 for o in outcomes if o.result_hit),
+    )
+    registry.set_gauge("engine.workers", workers)
+    registry.set_gauge("engine.wall_seconds", wall_seconds)
+    registry.set_gauge("engine.cache_enabled", 1.0 if cache_enabled else 0.0)
+    busy_by_pid: Dict[int, float] = {}
+    for outcome in outcomes:
+        for name, value in outcome.metrics.items():
+            registry.inc(name, value)
+        registry.inc("engine.cell.seconds_total", outcome.seconds)
+        registry.inc("engine.queue.wait_seconds_total", outcome.queue_wait)
+        registry.observe("engine.cell.seconds", outcome.seconds)
+        registry.observe("engine.queue.wait_seconds", outcome.queue_wait)
+        busy_by_pid[outcome.pid] = (
+            busy_by_pid.get(outcome.pid, 0.0) + outcome.seconds
+        )
+    for pid, busy in sorted(busy_by_pid.items()):
+        utilization = busy / wall_seconds if wall_seconds > 0 else 0.0
+        registry.set_gauge(f"worker.{pid}.busy_seconds", busy)
+        registry.set_gauge(f"worker.{pid}.utilization", utilization)
+    return registry
+
+
+def _worker_utilization(
+    outcomes: List[CellOutcome], wall_seconds: float
+) -> Dict[int, float]:
+    busy: Dict[int, float] = {}
+    for outcome in outcomes:
+        busy[outcome.pid] = busy.get(outcome.pid, 0.0) + outcome.seconds
+    if wall_seconds <= 0:
+        return {pid: 0.0 for pid in busy}
+    return {pid: seconds / wall_seconds for pid, seconds in busy.items()}
+
+
+def _build_manifest(
+    plan: ExperimentPlan,
+    outcomes: List[CellOutcome],
+    stats: EngineStats,
+    registry: MetricsRegistry,
+    run_started: float,
+    run_ended: float,
+) -> RunManifest:
+    """Assemble the span trace and the durable run manifest."""
+    tracer = Tracer()
+    root = tracer.adopt(
+        f"plan:{plan.table_id}", run_started, run_ended,
+        pid=os.getpid(), cells=len(plan.cells), workers=stats.workers,
+    )
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        cell = plan.cells[outcome.index]
+        cell_span = tracer.adopt(
+            f"cell:{cell.loop}/{cell.machine}/{cell.config}",
+            outcome.started,
+            outcome.ended,
+            parent_id=root.span_id,
+            pid=outcome.pid,
+            loop=cell.loop,
+            machine=cell.machine,
+            config=cell.config,
+            row=cell.row,
+            result_hit=outcome.result_hit,
+            trace_source=outcome.trace_source,
+            queue_wait=round(outcome.queue_wait, 6),
+        )
+        for name, span_start, span_end in outcome.spans:
+            tracer.adopt(
+                name, span_start, span_end,
+                parent_id=cell_span.span_id, pid=outcome.pid,
+            )
+    return RunManifest(
+        run_id=new_run_id(plan.table_id),
+        table_id=plan.table_id,
+        # Microsecond resolution so back-to-back runs still list in
+        # creation order (list_manifests sorts on this field).
+        created=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S.%fZ"),
+        git_sha=current_git_sha(),
+        config={
+            "workers": stats.workers,
+            "cache_enabled": stats.cache_enabled,
+            "cells": stats.cells,
+            "schema_version": RESULT_SCHEMA_VERSION,
+        },
+        timings={
+            "wall_seconds": stats.wall_seconds,
+            "cell_seconds": stats.cell_seconds,
+            "max_cell_seconds": stats.max_cell_seconds,
+            "queue_wait_seconds": stats.queue_wait_seconds,
+        },
+        metrics=registry.snapshot(),
+        spans=tracer.to_payload(),
+    )
+
+
 def run_plan(
     plan: ExperimentPlan,
     *,
     workers: Optional[int] = None,
     cache: Optional[DiskCache] = None,
+    observe: bool = False,
 ) -> PlanRun:
     """Evaluate every cell of *plan* and merge deterministically.
 
     ``workers=1`` (or a single-cell plan) runs in-process; anything
     larger fans out over a ``ProcessPoolExecutor``.  *cache* is optional:
-    without it the engine is a pure compute path.
+    without it the engine is a pure compute path.  With ``observe=True``
+    the run also records a span trace and writes a
+    :class:`~repro.obs.manifest.RunManifest` under the cache root
+    (``<root>/manifests``), returned on the :class:`PlanRun`.
     """
     workers = default_workers() if workers is None else max(1, int(workers))
+    run_started = time.monotonic()
     start = time.perf_counter()
-    payloads = list(enumerate(plan.cells))
+    payloads = [
+        (index, cell, time.monotonic())
+        for index, cell in enumerate(plan.cells)
+    ]
 
     if workers == 1 or len(payloads) <= 1:
         outcomes = [
-            evaluate_cell(index, cell, cache) for index, cell in payloads
+            evaluate_cell(index, cell, cache, enqueued=enqueued)
+            for index, cell, enqueued in payloads
         ]
     else:
         cache_dir = str(cache.root) if cache is not None else None
@@ -308,16 +518,36 @@ def run_plan(
             )
 
     table = merge_outcomes(plan, outcomes)
+    run_ended = time.monotonic()
+    wall_seconds = time.perf_counter() - start
+    registry = _aggregate_metrics(
+        plan, outcomes, wall_seconds, workers, cache is not None
+    )
     stats = EngineStats(
         table_id=plan.table_id,
         cells=len(plan.cells),
         workers=workers,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=wall_seconds,
         cell_seconds=sum(o.seconds for o in outcomes),
         max_cell_seconds=max((o.seconds for o in outcomes), default=0.0),
         result_hits=sum(1 for o in outcomes if o.result_hit),
         traces_built=sum(1 for o in outcomes if o.trace_source == "built"),
         traces_loaded=sum(1 for o in outcomes if o.trace_source == "disk"),
         cache_enabled=cache is not None,
+        corrupt_rebuilds=int(
+            registry.value("cache.result.corruptions")
+            + registry.value("cache.trace.corruptions")
+        ),
+        queue_wait_seconds=sum(o.queue_wait for o in outcomes),
+        worker_utilization=_worker_utilization(outcomes, wall_seconds),
+        metrics=registry.snapshot(),
     )
-    return PlanRun(table=table, stats=stats)
+
+    manifest: Optional[RunManifest] = None
+    if observe:
+        manifest = _build_manifest(
+            plan, outcomes, stats, registry, run_started, run_ended
+        )
+        root = cache.root if cache is not None else default_cache_dir()
+        write_manifest(manifest, root)
+    return PlanRun(table=table, stats=stats, manifest=manifest)

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List
 
 from .experiments import EXPERIMENTS, section33  # re-exported for compat
 
 _DEPRECATION_NOTICE = (
-    "note: 'python -m repro.harness.runner' is deprecated; "
+    "'python -m repro.harness.runner' is deprecated; "
     "use 'python -m repro tables' (same tables, plus --workers/--no-cache)"
 )
 
@@ -47,7 +48,9 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    print(_DEPRECATION_NOTICE, file=sys.stderr)
+    # Through the warnings machinery (not a bare stderr print) so piped
+    # output stays clean and callers can filter or -W error it.
+    warnings.warn(_DEPRECATION_NOTICE, DeprecationWarning, stacklevel=2)
     return run_tables(args.table, compare=args.compare)
 
 

@@ -1,0 +1,123 @@
+"""Typed simulator events: one observation channel for every machine.
+
+Every timing simulator (:mod:`repro.core`) accepts an optional
+``on_event`` callback (an attribute on :class:`repro.core.base.Simulator`)
+and, when it is set, emits :class:`SimEvent` records as the model makes
+issue decisions:
+
+====================  ==================================================
+kind                  meaning
+====================  ==================================================
+:attr:`EventKind.ISSUE`     an instruction issued (``cycle`` = issue cycle)
+:attr:`EventKind.STALL`     issue was delayed (``reason`` names the binding
+                            constraint, ``cycles`` how many cycles were lost)
+:attr:`EventKind.COMPLETE`  an instruction's result (or branch resolution)
+                            became available / the instruction retired
+:attr:`EventKind.FLUSH`     fetched work was discarded (taken-branch buffer
+                            flush, branch misprediction recovery)
+====================  ==================================================
+
+The disabled path is a single ``if emit is not None`` test per
+instruction in each model's hot loop -- benchmarked at well under 2%
+overhead (``benchmarks/bench_hooks.py`` gates this in CI) and leaving
+issue timing bit-identical (the event plumbing never feeds back into the
+model).
+
+``reason`` strings are the emitting machine's vocabulary: the scoreboard
+uses :class:`repro.core.scoreboard.StallReason` names (``"RAW"``,
+``"WAW"``, ``"UNIT"``, ``"BUS"``, ``"BRANCH"``); the buffered machines
+add ``"RUU_FULL"``, ``"STATIONS_FULL"``, ``"TAKEN_BRANCH"`` and
+``"MISPREDICT"``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "EventCallback",
+    "EventCollector",
+    "EventKind",
+    "SimEvent",
+    "tee",
+]
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    ISSUE = "issue"
+    STALL = "stall"
+    COMPLETE = "complete"
+    FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One observation from a timing model.
+
+    Attributes:
+        kind: the event type.
+        seq: dynamic instruction index the event refers to (-1 for
+            machine-level events with no single instruction).
+        cycle: the cycle the event refers to (issue cycle for ISSUE,
+            availability cycle for COMPLETE, the delayed issue cycle for
+            STALL, the flush cycle for FLUSH).
+        reason: stall/flush cause (empty for ISSUE/COMPLETE).
+        cycles: duration in cycles where meaningful (cycles lost for
+            STALL); 0 otherwise.
+    """
+
+    kind: EventKind
+    seq: int
+    cycle: int
+    reason: str = ""
+    cycles: int = 0
+
+
+#: The hook signature every simulator accepts.
+EventCallback = Callable[[SimEvent], None]
+
+
+class EventCollector:
+    """The simplest consumer: keep every event, count by kind."""
+
+    def __init__(self) -> None:
+        self.events: List[SimEvent] = []
+
+    def __call__(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    def counts(self) -> Dict[EventKind, int]:
+        by_kind: Dict[EventKind, int] = {}
+        for event in self.events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        return by_kind
+
+    def of_kind(self, kind: EventKind) -> Tuple[SimEvent, ...]:
+        return tuple(e for e in self.events if e.kind is kind)
+
+    def stall_cycles_by_reason(self) -> Dict[str, int]:
+        """Total cycles lost per stall reason (Section 6 style)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind is EventKind.STALL:
+                totals[event.reason] = (
+                    totals.get(event.reason, 0) + event.cycles
+                )
+        return totals
+
+
+def tee(*callbacks: EventCallback) -> EventCallback:
+    """Fan one event stream out to several consumers."""
+    live = [cb for cb in callbacks if cb is not None]
+    if len(live) == 1:
+        return live[0]
+
+    def fanout(event: SimEvent) -> None:
+        for callback in live:
+            callback(event)
+
+    return fanout

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -31,6 +32,8 @@ from typing import Any, Dict, Mapping, Optional
 
 from .io import read_trace, write_trace
 from .record import Trace
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -90,6 +93,12 @@ class DiskCache:
         self.trace_misses = 0
         self.result_hits = 0
         self.result_misses = 0
+        # Corrupted-entry rebuilds.  A rebuild is silent for correctness
+        # (it behaves like a miss) but never silent for observability:
+        # each one is counted and logged, and the engine republishes the
+        # counts through the repro.obs metrics registry.
+        self.trace_corruptions = 0
+        self.result_corruptions = 0
 
     # -- paths ---------------------------------------------------------
 
@@ -109,9 +118,14 @@ class DiskCache:
         except FileNotFoundError:
             self.trace_misses += 1
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
             # Corrupted archive: drop it and report a miss so the caller
             # rebuilds (and re-stores) the trace.
+            self.trace_corruptions += 1
+            logger.warning(
+                "corrupted trace cache entry %s (%s); discarding, "
+                "it will be rebuilt", path, exc,
+            )
             self._discard(path)
             self.trace_misses += 1
             return None
@@ -152,7 +166,12 @@ class DiskCache:
         except FileNotFoundError:
             self.result_misses += 1
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            self.result_corruptions += 1
+            logger.warning(
+                "corrupted result cache entry %s (%s); discarding, "
+                "it will be recomputed", path, exc,
+            )
             self._discard(path)
             self.result_misses += 1
             return None
@@ -193,4 +212,6 @@ class DiskCache:
             "trace_misses": self.trace_misses,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
+            "trace_corruptions": self.trace_corruptions,
+            "result_corruptions": self.result_corruptions,
         }

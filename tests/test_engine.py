@@ -152,6 +152,67 @@ class TestDiskCacheRoundTrip:
         assert run.table.rows
 
 
+class TestObservedCacheCounters:
+    """Aggregated cache.* counters must match the cold/warm ground truth.
+
+    Workers ship per-cell DiskCache counter deltas back to the parent,
+    which folds them into the run's metrics registry -- so the totals
+    must be exact regardless of fan-out width.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_cold_then_warm_table1_counters(self, small_sizes, workers):
+        cold = api.run_table(
+            "table1", sizes=small_sizes, workers=workers, observe=True
+        )
+        counters = cold.stats.metrics["counters"]
+        assert counters.get("cache.result.hits", 0.0) == 0.0
+        assert counters["cache.result.misses"] == cold.stats.cells
+        assert cold.manifest.cache_hit_rate == 0.0
+
+        warm = api.run_table(
+            "table1", sizes=small_sizes, workers=workers, observe=True
+        )
+        counters = warm.stats.metrics["counters"]
+        assert counters["cache.result.hits"] == warm.stats.cells
+        assert counters.get("cache.result.misses", 0.0) == 0.0
+        assert warm.manifest.cache_hit_rate == 1.0
+        assert warm.table.rows == cold.table.rows
+
+    def test_utilization_and_queue_wait_recorded(self, small_sizes):
+        run = api.run_table(
+            "table1", sizes=small_sizes, workers=2, observe=True
+        )
+        assert run.stats.worker_utilization
+        assert all(0 <= u for u in run.stats.worker_utilization.values())
+        assert run.stats.queue_wait_seconds >= 0.0
+        gauges = run.stats.metrics["gauges"]
+        assert any(
+            name.startswith("worker.") and name.endswith(".utilization")
+            for name in gauges
+        )
+
+    def test_corruption_rebuilds_are_counted(self, small_sizes):
+        api.run_table("table1", sizes=small_sizes, workers=1)
+        store = DiskCache()
+        results = sorted((store.root / "results").glob("*.jsonl"))
+        results[0].write_text("this is not json\n")
+
+        warm = api.run_table(
+            "table1", sizes=small_sizes, workers=1, observe=True
+        )
+        assert warm.stats.corrupt_rebuilds == 1
+        counters = warm.stats.metrics["counters"]
+        assert counters["cache.result.corruptions"] == 1.0
+        assert "1 corrupt rebuilt" in warm.stats.footer()
+
+    def test_footer_format_unchanged_without_corruption(self, small_sizes):
+        run = api.run_table("table1", sizes=small_sizes, workers=1)
+        footer = run.stats.footer()
+        assert "result cache" in footer
+        assert "corrupt" not in footer
+
+
 class TestDiskCacheUnit:
     def test_result_round_trip(self, tmp_path):
         store = DiskCache(tmp_path / "c")

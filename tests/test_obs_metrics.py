@@ -1,0 +1,119 @@
+"""Tests for the process-safe metrics registry (repro.obs.metrics).
+
+The registry's contract is merge-based process safety: every process
+owns a private registry, workers ship plain ``snapshot()`` dicts, and
+the parent folds them with ``merge()`` -- counters sum, gauges
+last-write-wins, histograms vector-add.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.result.hits")
+        registry.inc("cache.result.hits", 4)
+        assert registry.value("cache.result.hits") == 5.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("x", -1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("worker.1.utilization", 0.5)
+        registry.set_gauge("worker.1.utilization", 0.9)
+        assert registry.value("worker.1.utilization") == 0.9
+
+    def test_untouched_value_is_zero(self):
+        assert MetricsRegistry().value("never") == 0.0
+
+
+class TestHistogram:
+    def test_observe_counts_buckets(self):
+        hist = Histogram(buckets=(1.0, 10.0, math.inf))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.2)
+        assert hist.mean == pytest.approx(106.2 / 4)
+
+    def test_boundary_lands_in_lower_bucket(self):
+        hist = Histogram(buckets=(1.0, math.inf))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0]
+
+    def test_quantile_returns_covering_bound(self):
+        hist = Histogram(buckets=(1.0, 10.0, math.inf))
+        for _ in range(9):
+            hist.observe(0.5)
+        hist.observe(5.0)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(0.99) == 10.0
+
+    def test_buckets_must_end_with_inf(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 2.0))
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0, math.inf))
+
+    def test_default_buckets_cover_seconds(self):
+        assert DEFAULT_SECONDS_BUCKETS[-1] == math.inf
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("cells", 3)
+        registry.set_gauge("workers", 4)
+        registry.observe("seconds", 0.02)
+        registry.observe("seconds", 2.0)
+        return registry
+
+    def test_snapshot_is_plain_and_picklable(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"]["cells"] == 3.0
+        assert snapshot["gauges"]["workers"] == 4.0
+        # Must survive both the process-pool pickle and JSON manifests.
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_merge_sums_counters_and_histograms(self):
+        parent = self._populated()
+        parent.merge(self._populated().snapshot())
+        assert parent.value("cells") == 6.0
+        hist = parent.histogram("seconds")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(2 * 2.02)
+
+    def test_merge_gauge_last_write_wins(self):
+        parent = self._populated()
+        worker = MetricsRegistry()
+        worker.set_gauge("workers", 8)
+        parent.merge(worker.snapshot())
+        assert parent.value("workers") == 8.0
+
+    def test_round_trip_through_snapshot(self):
+        original = self._populated()
+        clone = MetricsRegistry.from_snapshot(original.snapshot())
+        assert clone.snapshot() == original.snapshot()
+
+    def test_merge_empty_snapshot_is_noop(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.merge({})
+        assert registry.snapshot() == before

@@ -1,0 +1,93 @@
+"""Tests for the span tracer and the Chrome trace_event export."""
+
+import json
+
+from repro.obs.tracing import Span, Tracer, spans_to_chrome
+
+
+def _fake_clock(times):
+    values = iter(times)
+    return lambda: next(values)
+
+
+class TestTracer:
+    def test_nested_spans_get_parent_ids(self):
+        tracer = Tracer(clock=_fake_clock([0.0, 1.0, 2.0, 3.0]))
+        with tracer.span("plan:table1") as plan:
+            with tracer.span("cell:5/cray/M11BR5") as cell:
+                pass
+        assert plan.parent_id is None
+        assert cell.parent_id == plan.span_id
+        assert plan.start == 0.0 and plan.end == 3.0
+        assert cell.start == 1.0 and cell.end == 2.0
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [span.span_id for span in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_adopt_records_worker_timed_span(self):
+        tracer = Tracer()
+        adopted = tracer.adopt(
+            "simulate:cray", 10.0, 10.5, pid=123, loop=5
+        )
+        assert adopted.duration == 0.5
+        assert adopted.pid == 123
+        assert adopted.attrs == {"loop": 5}
+
+    def test_adopt_under_explicit_parent(self):
+        tracer = Tracer()
+        root = tracer.adopt("plan:table1", 0.0, 2.0)
+        child = tracer.adopt(
+            "cell:1/cray/M11BR5", 0.5, 1.0, parent_id=root.span_id
+        )
+        assert child.parent_id == root.span_id
+
+    def test_payload_round_trips_and_is_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("plan:table1", cells=4):
+            pass
+        payload = tracer.to_payload()
+        restored = [Span.from_dict(d) for d in json.loads(json.dumps(payload))]
+        assert restored == tracer.spans
+
+
+class TestChromeExport:
+    def test_complete_events_in_microseconds(self):
+        tracer = Tracer()
+        root = tracer.adopt("plan:table1", 100.0, 100.5)
+        tracer.adopt(
+            "cell:5/cray/M11BR5", 100.1, 100.3,
+            parent_id=root.span_id, pid=42,
+        )
+        chrome = spans_to_chrome(tracer.to_payload())
+        assert chrome["displayTimeUnit"] == "ms"
+        events = chrome["traceEvents"]
+        assert [e["ph"] for e in events] == ["X", "X"]
+        # Rebased to the earliest span, in microseconds.
+        assert events[0]["ts"] == 0.0
+        assert events[0]["dur"] == 500_000.0
+        assert events[1]["ts"] == 100_000.0
+        assert events[1]["dur"] == 200_000.0
+        assert events[1]["pid"] == 42
+        assert events[1]["args"]["parent_id"] == root.span_id
+
+    def test_open_spans_are_skipped(self):
+        spans = [
+            {"name": "open", "span_id": 1, "parent_id": None,
+             "start": 0.0, "end": None},
+            {"name": "closed", "span_id": 2, "parent_id": None,
+             "start": 1.0, "end": 2.0},
+        ]
+        chrome = spans_to_chrome(spans)
+        assert [e["name"] for e in chrome["traceEvents"]] == ["closed"]
+
+    def test_export_is_json_serialisable(self):
+        tracer = Tracer()
+        tracer.adopt("plan:table1", 0.0, 1.0, workers=4)
+        text = json.dumps(spans_to_chrome(tracer.to_payload()))
+        assert json.loads(text)["traceEvents"][0]["args"]["workers"] == 4

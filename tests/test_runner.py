@@ -2,7 +2,8 @@
 
 ``python -m repro.harness.runner`` must keep working, but only as a thin
 delegate to :func:`repro.api.run_table` (via the CLI's ``tables``
-implementation), printing a deprecation notice on stderr.
+implementation), raising a ``DeprecationWarning`` through the warnings
+machinery (never polluting piped stderr output).
 """
 
 import pytest
@@ -53,11 +54,12 @@ def test_runs_a_table_via_api(fake_run_table, capsys):
     assert [c["table_id"] for c in fake_run_table] == ["table1"]
 
 
-def test_prints_deprecation_notice(fake_run_table, capsys):
-    assert runner.main(["table1"]) == 0
-    captured = capsys.readouterr()
-    assert "deprecated" in captured.err
-    assert "python -m repro tables" in captured.err
+def test_warns_deprecation(fake_run_table, capsys):
+    with pytest.warns(DeprecationWarning, match="python -m repro tables"):
+        assert runner.main(["table1"]) == 0
+    # The notice goes through the warnings machinery, not stderr, so
+    # piped table output stays clean.
+    assert "deprecated" not in capsys.readouterr().err
 
 
 def test_compare_prints_paper_numbers(fake_run_table, capsys):
