@@ -28,8 +28,9 @@ Key facts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .analysis import stall_breakdown
 from .core import SimulationResult, build_simulator, config_by_name
@@ -43,6 +44,13 @@ from .harness.tables import ResultTable, compare_tables
 from .kernels import build_kernel
 from .limits import LoopLimits, compute_limits
 from .obs.manifest import RunManifest, find_manifest, list_manifests
+from .verify import (
+    FuzzSpec,
+    VerifyOptions,
+    VerifyReport,
+    run_verification,
+)
+from .verify.oracle import DEFAULT_ORACLE_MACHINES
 from .trace import (
     DiskCache,
     Trace,
@@ -59,6 +67,7 @@ __all__ = [
     "RunManifest",
     "TableRun",
     "UnknownSpecError",
+    "VerifyReport",
     "capture",
     "disassemble",
     "find_run",
@@ -72,6 +81,7 @@ __all__ = [
     "section33",
     "simulate",
     "stalls",
+    "verify_machines",
 ]
 
 
@@ -318,6 +328,63 @@ def replay(
     trace: Trace = read_trace(trace_path)
     simulator = build_simulator(machine)
     return simulator.simulate(trace, config_by_name(config))
+
+
+# ----------------------------------------------------------------------
+# Differential verification
+# ----------------------------------------------------------------------
+
+def verify_machines(
+    seeds: int = 50,
+    *,
+    machines: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    fuzz: Optional[FuzzSpec] = None,
+    shrink: bool = True,
+    dump_dir: Optional[str] = None,
+    first_seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Fuzz-verify machine models against each other and the limits.
+
+    Generates *seeds* deterministic synthetic traces, replays each
+    through every spec in *machines* (default: the full oracle set),
+    and runs both verification layers -- the per-cycle invariant
+    checker and the cross-machine ordering/bound oracle.  Failing
+    traces are delta-debugged down to minimal reproducers, written as
+    JSON lines under *dump_dir* when given (replayable with
+    :func:`replay`).
+
+    Args:
+        seeds: number of fuzzed traces (seeds ``first_seed ..
+            first_seed + seeds - 1``).
+        machines: registry spec strings; unknown specs raise
+            :class:`UnknownSpecError` up front.
+        configs: machine-variant names (default: all four paper
+            variants); seeds rotate through them.
+        trace_length: override the fuzzed trace length only.
+        fuzz: full trace-shape control (overrides *trace_length*).
+        shrink: minimise failing traces before reporting.
+        dump_dir: directory for reproducer dumps.
+        first_seed: base seed, letting shards cover disjoint ranges.
+        log: optional progress sink (the CLI passes ``print``).
+    """
+    shape = fuzz if fuzz is not None else FuzzSpec()
+    if fuzz is None and trace_length is not None:
+        shape = replace(shape, length=trace_length)
+    options = VerifyOptions(
+        seeds=seeds,
+        machines=tuple(machines) if machines else DEFAULT_ORACLE_MACHINES,
+        configs=tuple(
+            config_by_name(name) for name in configs
+        ) if configs else VerifyOptions().configs,
+        fuzz=shape,
+        shrink=shrink,
+        dump_dir=Path(dump_dir) if dump_dir is not None else None,
+        first_seed=first_seed,
+    )
+    return run_verification(options, log=log)
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,14 @@ parses arguments and prints, the facade does the work:
 * ``limits``   -- pseudo-dataflow / resource / serial limits;
 * ``stalls``   -- stall attribution on an issue-blocking machine;
 * ``capture``  -- save a verified dynamic trace as JSON lines;
-* ``replay``   -- time a saved trace on any machine.
+* ``replay``   -- time a saved trace on any machine;
+* ``verify``   -- differential verification: fuzz traces, replay them
+  through every machine, check per-cycle invariants and cross-machine
+  ordering/bound claims, shrink any failure to a minimal reproducer.
+
+Subcommands that render a verdict (``verify``, ``stats``) decide their
+exit code *before* printing, so a downstream ``| head`` closing stdout
+(``BrokenPipeError``) cannot turn a failure into exit 0.
 """
 
 from __future__ import annotations
@@ -177,6 +184,63 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--machine", default="cray")
     replay.add_argument("--config", default="M11BR5")
 
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz, replay, check, shrink",
+    )
+    verify.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="how many fuzzed traces to run (default 50)",
+    )
+    verify.add_argument(
+        "--machines",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "registry specs to verify (default: the full oracle set; "
+            f"{api.machine_spec_help()})"
+        ),
+    )
+    verify.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help=(
+            "machine variant to replay under; repeatable "
+            "(default: all four paper variants, rotating per seed)"
+        ),
+    )
+    verify.add_argument(
+        "--trace-length",
+        type=int,
+        default=None,
+        help="fuzzed trace length (default 48)",
+    )
+    verify.add_argument(
+        "--first-seed",
+        type=int,
+        default=0,
+        help="base seed (shards can cover disjoint ranges)",
+    )
+    verify.add_argument(
+        "--dump-dir",
+        default=None,
+        help="write shrunk reproducer traces (JSONL) into this directory",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing traces without delta-debugging them",
+    )
+    verify.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-seed progress; print only the summary",
+    )
+
     return parser
 
 
@@ -274,6 +338,7 @@ def run_stats(run_id: Optional[str], limit: int) -> int:
     if run_id is not None:
         manifest = api.find_run(run_id)
         if manifest is None:
+            _set_pending_exit(2)
             print(f"error: no run matching {run_id!r}", file=sys.stderr)
             return 2
         print(_render_run_detail(manifest))
@@ -301,6 +366,7 @@ def run_trace_export(run_id: Optional[str], fmt: str, out: str) -> int:
         runs = api.list_runs(limit=1)
         manifest = runs[0] if runs else None
     if manifest is None:
+        _set_pending_exit(2)
         target = f"run matching {run_id!r}" if run_id else "observed runs"
         print(f"error: no {target}", file=sys.stderr)
         return 2
@@ -322,7 +388,66 @@ def run_trace_export(run_id: Optional[str], fmt: str, out: str) -> int:
     return 0
 
 
+def run_verify(args) -> int:
+    """The ``verify`` subcommand: fuzz-verify the machine models."""
+
+    def report_failure(message: str) -> None:
+        # The runner's log only speaks on failure events, so record the
+        # failing verdict before each print: if the pipe then breaks
+        # mid-campaign, main() still exits 1.
+        _set_pending_exit(1)
+        print(message)
+
+    log = None if args.quiet else report_failure
+    try:
+        report = api.verify_machines(
+            args.seeds,
+            machines=args.machines,
+            configs=args.config,
+            trace_length=args.trace_length,
+            shrink=not args.no_shrink,
+            dump_dir=args.dump_dir,
+            first_seed=args.first_seed,
+            log=log,
+        )
+    except ValueError as exc:
+        # Covers UnknownSpecError plus malformed seed counts/configs.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Decide the verdict before any stdout writes so a broken pipe
+    # cannot swallow a failure (see main()).
+    code = 0 if report.ok else 1
+    _set_pending_exit(code)
+    machine_count = len(report.options.machines)
+    print(
+        f"verify: {report.seeds_run} seeds x {machine_count} machines "
+        f"({report.checks_run} checks): "
+        + ("OK" if report.ok else f"{len(report.failures)} FAILURES")
+    )
+    for failure in report.failures:
+        print(f"  {failure}")
+    if not report.ok and args.dump_dir is None:
+        print(
+            "  (re-run with --dump-dir to save replayable reproducer "
+            "traces)",
+            file=sys.stderr,
+        )
+    return code
+
+
+#: Exit code to use if stdout breaks mid-print: subcommands record their
+#: verdict here as soon as it is known, before rendering any output.
+_pending_exit = 0
+
+
+def _set_pending_exit(code: int) -> None:
+    global _pending_exit
+    _pending_exit = code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    global _pending_exit
+    _pending_exit = 0
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
@@ -332,9 +457,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Reader went away (e.g. ``repro stats | head``); stdout is gone,
         # so detach it before interpreter shutdown tries to flush it.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 0
+        # Return the verdict recorded before printing started -- piping
+        # ``repro verify`` into ``head`` must not hide a failure.
+        _detach_stdout()
+        return _pending_exit
+
+
+def _detach_stdout() -> None:
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
 
 
 def _dispatch(args) -> int:
@@ -349,6 +480,9 @@ def _dispatch(args) -> int:
 
     if args.command == "trace-export":
         return run_trace_export(args.run, args.format, args.out)
+
+    if args.command == "verify":
+        return run_verify(args)
 
     if args.command == "replay":
         print(api.replay(args.trace, args.machine, config=args.config))

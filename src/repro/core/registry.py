@@ -7,7 +7,8 @@ paper studies from a short specification string, e.g. ``"simple"``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
 
 from .base import Simulator
 from .buses import BusKind
@@ -82,6 +83,26 @@ def available_specs() -> str:
     )
 
 
+@dataclass(frozen=True)
+class ParsedSpec:
+    """A specification string split into its head and parameters.
+
+    The single parsing point shared by :func:`build_simulator` and
+    spec-keyed consumers (the verification layer derives per-machine
+    event profiles from the same normalised form, so the two can never
+    disagree about what a spec means).
+    """
+
+    head: str
+    params: Tuple[str, ...]
+
+
+def parse_spec(spec: str) -> ParsedSpec:
+    """Normalise a spec string: lowercase, strip, split on ``:``."""
+    parts = [part.strip() for part in spec.lower().split(":")]
+    return ParsedSpec(head=parts[0], params=tuple(parts[1:]))
+
+
 def _parse_bus(token: str, default: BusKind) -> BusKind:
     if not token:
         return default
@@ -95,8 +116,8 @@ def _parse_bus(token: str, default: BusKind) -> BusKind:
 
 def build_simulator(spec: str) -> Simulator:
     """Build a simulator from a specification string (see module docstring)."""
-    parts = [part.strip() for part in spec.lower().split(":")]
-    head = parts[0]
+    parsed = parse_spec(spec)
+    head, parts = parsed.head, (parsed.head,) + parsed.params
 
     if head in _FIXED:
         if len(parts) > 1:

@@ -99,6 +99,23 @@ class EventCollector:
     def of_kind(self, kind: EventKind) -> Tuple[SimEvent, ...]:
         return tuple(e for e in self.events if e.kind is kind)
 
+    def cycles_by_seq(self, kind: EventKind) -> Dict[int, int]:
+        """seq -> cycle of the *first* event of *kind* for that seq.
+
+        The per-seq timeline most consumers want (the invariant checker
+        in :mod:`repro.verify` reconstructs issue/completion schedules
+        this way); duplicate events for a seq keep the first cycle.
+        """
+        cycles: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind is kind and event.seq not in cycles:
+                cycles[event.seq] = event.cycle
+        return cycles
+
+    def max_cycle(self) -> int:
+        """The latest cycle any event refers to (0 with no events)."""
+        return max((e.cycle for e in self.events), default=0)
+
     def stall_cycles_by_reason(self) -> Dict[str, int]:
         """Total cycles lost per stall reason (Section 6 style)."""
         totals: Dict[str, int] = {}

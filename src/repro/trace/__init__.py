@@ -2,7 +2,12 @@
 
 from .cache import GLOBAL_TRACE_CACHE, TraceCache
 from .diskcache import CACHE_DIR_ENV, DiskCache, content_key, default_cache_dir
-from .generator import generate_trace, generate_trace_with_result
+from .generator import (
+    assemble_trace,
+    generate_trace,
+    generate_trace_with_result,
+    subset_trace,
+)
 from .io import TraceFormatError, read_trace, write_trace
 from .record import Trace, TraceEntry
 from .stats import TraceStats, format_stats, trace_stats
@@ -18,10 +23,12 @@ __all__ = [
     "TraceEntry",
     "TraceFormatError",
     "TraceStats",
+    "assemble_trace",
     "format_stats",
     "generate_trace",
     "generate_trace_with_result",
     "read_trace",
+    "subset_trace",
     "trace_stats",
     "write_trace",
 ]

@@ -9,7 +9,7 @@ sequence of the program for its input.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..asm import DEFAULT_MAX_STEPS, ExecutionResult, Memory, Program
 from ..asm import run as run_program
@@ -74,3 +74,55 @@ def generate_trace_with_result(
     )
     trace = Trace(name=name or program.name, entries=tuple(entries))
     return trace, result
+
+
+#: One item of a synthesised trace: a bare instruction, or an existing
+#: :class:`TraceEntry` whose metadata (branch outcome, address, direction)
+#: should be preserved under a fresh sequence number.
+TraceItem = Union[Instruction, TraceEntry]
+
+
+def assemble_trace(items: Sequence[TraceItem], name: str) -> Trace:
+    """Build a dynamic trace directly from instructions or entries.
+
+    The trace-capture path above derives entries by running a program;
+    this is the synthetic counterpart used by the fuzzer
+    (:mod:`repro.verify.fuzz`) and the failure minimiser
+    (:mod:`repro.verify.shrink`): items are renumbered into a fresh,
+    well-formed dynamic stream.  Bare :class:`Instruction` items must not
+    be branches (a branch needs its outcome recorded -- pass a
+    :class:`TraceEntry` for those).
+    """
+    entries: List[TraceEntry] = []
+    for seq, item in enumerate(items):
+        if isinstance(item, TraceEntry):
+            entries.append(
+                TraceEntry(
+                    seq=seq,
+                    static_index=item.static_index,
+                    instruction=item.instruction,
+                    taken=item.taken,
+                    address=item.address,
+                    backward=item.backward,
+                    vector_length=item.vector_length,
+                )
+            )
+        else:
+            entries.append(
+                TraceEntry(seq=seq, static_index=seq, instruction=item)
+            )
+    return Trace(name=name, entries=tuple(entries))
+
+
+def subset_trace(trace: Trace, keep: Iterable[int], name: Optional[str] = None) -> Trace:
+    """A new trace containing only the entries at indices *keep* (sorted).
+
+    Sequence numbers are renumbered to stay contiguous; everything else
+    (instructions, branch outcomes, addresses) is preserved.  Used by the
+    verification shrinker to minimise failing traces.
+    """
+    indices = sorted(set(keep))
+    return assemble_trace(
+        [trace.entries[i] for i in indices],
+        name or f"{trace.name}-subset",
+    )

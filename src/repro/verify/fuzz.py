@@ -1,0 +1,228 @@
+"""Seeded trace fuzzer: random-but-well-formed scalar instruction traces.
+
+Every trace the fuzzer emits satisfies the full ISA operand discipline
+(:mod:`repro.isa.instructions` validates each instruction on construction)
+and the trace-record discipline (:mod:`repro.trace.record` validates
+branch outcomes, addresses and sequence numbers), so any machine that
+chokes on a fuzzed trace has a real bug, not a malformed input.
+
+The generator is deterministic: ``fuzz_trace(seed, spec)`` always returns
+the same trace for the same ``(seed, spec)`` pair, using only the stdlib
+:class:`random.Random` -- no new dependencies.
+
+Knobs (:class:`FuzzSpec`):
+
+* ``length`` -- dynamic instruction count;
+* ``dependency_density`` -- probability a source operand reuses a
+  recently written register (high density -> long dependence chains,
+  low -> wide independent dataflow);
+* ``memory_fraction`` / ``branch_fraction`` -- instruction mix;
+* ``float_fraction`` -- share of compute on the scalar/FP pipes vs the
+  address (integer) pipes;
+* ``taken_fraction`` / ``backward_fraction`` -- branch behaviour.
+
+Memory and branch *latencies* are properties of the
+:class:`~repro.core.config.MachineConfig` a trace is replayed under, not
+of the trace; the verification runner sweeps those separately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa import Instruction, Opcode
+from ..isa.registers import A0, A, Register, S
+from ..trace import Trace
+from ..trace.generator import TraceItem, assemble_trace
+from ..trace.record import TraceEntry
+
+#: Two-operand integer (address-pipe) opcodes.
+_INT_OPS = (Opcode.AADD, Opcode.ASUB, Opcode.AMUL)
+#: Two-operand scalar/FP opcodes (S registers both sides).
+_FLOAT_OPS = (
+    Opcode.SADD,
+    Opcode.SSUB,
+    Opcode.SAND,
+    Opcode.SOR,
+    Opcode.SXOR,
+    Opcode.FADD,
+    Opcode.FSUB,
+    Opcode.FMUL,
+)
+_SHIFT_OPS = (Opcode.SSHL, Opcode.SSHR)
+_COND_BRANCHES = (Opcode.JAZ, Opcode.JAN, Opcode.JAP, Opcode.JAM)
+
+#: How many recent writes the dependency picker draws from.
+_RECENT_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Parameters of one fuzzed trace (see module docstring)."""
+
+    length: int = 48
+    dependency_density: float = 0.55
+    memory_fraction: float = 0.20
+    branch_fraction: float = 0.08
+    float_fraction: float = 0.50
+    taken_fraction: float = 0.40
+    backward_fraction: float = 0.50
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("a fuzzed trace needs at least one instruction")
+        for field_name in (
+            "dependency_density",
+            "memory_fraction",
+            "branch_fraction",
+            "float_fraction",
+            "taken_fraction",
+            "backward_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if self.memory_fraction + self.branch_fraction > 1.0:
+            raise ValueError(
+                "memory_fraction + branch_fraction cannot exceed 1"
+            )
+
+
+class _Fuzzer:
+    """One generation pass: an rng plus recently-written register pools."""
+
+    def __init__(self, rng: random.Random, spec: FuzzSpec) -> None:
+        self.rng = rng
+        self.spec = spec
+        self.recent_a: List[Register] = []
+        self.recent_s: List[Register] = []
+
+    # ---- register selection -------------------------------------------
+    def _pick(self, recent: List[Register], fresh: Register) -> Register:
+        if recent and self.rng.random() < self.spec.dependency_density:
+            return self.rng.choice(recent[-_RECENT_WINDOW:])
+        return fresh
+
+    def src_a(self) -> Register:
+        return self._pick(self.recent_a, A(self.rng.randrange(8)))
+
+    def src_s(self) -> Register:
+        return self._pick(self.recent_s, S(self.rng.randrange(8)))
+
+    def dest_a(self) -> Register:
+        # A0 shows up as a destination often enough that conditional
+        # branches (which test A0 only) exercise fresh producers.
+        reg = A0 if self.rng.random() < 0.15 else A(self.rng.randrange(1, 8))
+        self.recent_a.append(reg)
+        return reg
+
+    def dest_s(self) -> Register:
+        reg = S(self.rng.randrange(8))
+        self.recent_s.append(reg)
+        return reg
+
+    # ---- instruction makers -------------------------------------------
+    def integer_op(self) -> Instruction:
+        roll = self.rng.random()
+        if roll < 0.15:
+            return Instruction(
+                Opcode.AI, dest=self.dest_a(), srcs=(self.rng.randrange(256),)
+            )
+        if roll < 0.25:
+            return Instruction(Opcode.AMOVE, dest=self.dest_a(), srcs=(self.src_a(),))
+        if roll < 0.32:
+            return Instruction(Opcode.STA, dest=self.dest_a(), srcs=(self.src_s(),))
+        if roll < 0.38:
+            return Instruction(Opcode.FIX, dest=self.dest_a(), srcs=(self.src_s(),))
+        opcode = self.rng.choice(_INT_OPS)
+        first = self.src_a()
+        # ALU_INT allows integer immediates as sources.
+        second: object = (
+            self.rng.randrange(64) if self.rng.random() < 0.25 else self.src_a()
+        )
+        return Instruction(opcode, dest=self.dest_a(), srcs=(first, second))
+
+    def float_op(self) -> Instruction:
+        roll = self.rng.random()
+        if roll < 0.12:
+            return Instruction(
+                Opcode.SI,
+                dest=self.dest_s(),
+                srcs=(round(self.rng.uniform(-8.0, 8.0), 3),),
+            )
+        if roll < 0.20:
+            return Instruction(Opcode.SMOVE, dest=self.dest_s(), srcs=(self.src_s(),))
+        if roll < 0.27:
+            return Instruction(Opcode.ATS, dest=self.dest_s(), srcs=(self.src_a(),))
+        if roll < 0.33:
+            return Instruction(Opcode.FLOAT, dest=self.dest_s(), srcs=(self.src_a(),))
+        if roll < 0.40:
+            return Instruction(Opcode.FRECIP, dest=self.dest_s(), srcs=(self.src_s(),))
+        if roll < 0.50:
+            return Instruction(
+                Opcode.SSHR if self.rng.random() < 0.5 else Opcode.SSHL,
+                dest=self.dest_s(),
+                srcs=(self.src_s(), self.rng.randrange(1, 32)),
+            )
+        opcode = self.rng.choice(_FLOAT_OPS)
+        return Instruction(
+            opcode, dest=self.dest_s(), srcs=(self.src_s(), self.src_s())
+        )
+
+    def memory_op(self, seq: int) -> TraceEntry:
+        base = self.src_a()
+        disp = self.rng.randrange(64)
+        roll = self.rng.random()
+        if roll < 0.40:
+            instr = Instruction(Opcode.LOADS, dest=self.dest_s(), srcs=(base, disp))
+        elif roll < 0.65:
+            instr = Instruction(Opcode.LOADA, dest=self.dest_a(), srcs=(base, disp))
+        elif roll < 0.85:
+            instr = Instruction(Opcode.STORES, srcs=(self.src_s(), base, disp))
+        else:
+            instr = Instruction(Opcode.STOREA, srcs=(self.src_a(), base, disp))
+        return TraceEntry(
+            seq=seq,
+            static_index=seq,
+            instruction=instr,
+            address=self.rng.randrange(4096),
+        )
+
+    def branch_op(self, seq: int) -> TraceEntry:
+        unconditional = self.rng.random() < 0.2
+        if unconditional:
+            instr = Instruction(Opcode.JMP, target=f"L{seq}")
+            taken = True
+        else:
+            opcode = self.rng.choice(_COND_BRANCHES)
+            instr = Instruction(opcode, srcs=(A0,), target=f"L{seq}")
+            taken = self.rng.random() < self.spec.taken_fraction
+        return TraceEntry(
+            seq=seq,
+            static_index=seq,
+            instruction=instr,
+            taken=taken,
+            backward=self.rng.random() < self.spec.backward_fraction,
+        )
+
+
+def fuzz_trace(seed: int, spec: Optional[FuzzSpec] = None) -> Trace:
+    """Generate one deterministic synthetic trace for *seed* under *spec*."""
+    spec = spec or FuzzSpec()
+    rng = random.Random(seed)
+    fuzzer = _Fuzzer(rng, spec)
+
+    items: List[TraceItem] = []
+    for seq in range(spec.length):
+        roll = rng.random()
+        if roll < spec.branch_fraction:
+            items.append(fuzzer.branch_op(seq))
+        elif roll < spec.branch_fraction + spec.memory_fraction:
+            items.append(fuzzer.memory_op(seq))
+        elif rng.random() < spec.float_fraction:
+            items.append(fuzzer.float_op())
+        else:
+            items.append(fuzzer.integer_op())
+    return assemble_trace(items, name=f"fuzz-{seed}")

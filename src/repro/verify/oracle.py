@@ -1,0 +1,258 @@
+"""Cross-machine differential oracle.
+
+Replays one trace through a set of registered machines plus the Section 4
+limit calculators and asserts the paper's ordering claims on the *cycle
+counts* (every machine runs the same trace, so comparing integer cycles
+is exact -- no floating-point tolerance needed):
+
+* **limit bounds** -- no machine finishes before the pseudo-dataflow
+  critical path or before the resource (fully-pipelined base machine)
+  bound; the serial-WAW dataflow variant is never faster than the pure
+  one;
+* **partial order** -- relaxing a constraint never loses performance:
+  pipelining the units, interleaving the memory, letting RAW hazards
+  wait at the units, adding in-order issue units and growing the RUU are
+  each monotone improvements (the paper's Tables 1-8 ordering);
+* **exact duals** -- the CRAY-like scoreboard and the multi-issue
+  machines at one issue station are numerically identical (they model
+  the same hardware), as are in-order and out-of-order issue at a
+  buffer of one.
+
+The edge list was calibrated empirically over ~12,000 fuzzed traces
+(all four memory/branch variants, trace shapes from length-1 to
+all-branch to dependency-free) before being pinned here; every pinned
+edge held on every trace.  Many *plausible* edges are deliberately
+absent because greedy cycle-level schedulers admit classic scheduling
+anomalies -- extra freedom occasionally loses a cycle or two on an
+adversarial trace even though it wins on real workloads:
+
+* out-of-order issue vs in-order at the same width (``ooo:N`` can lose
+  a cycle to ``inorder:N`` when an eagerly issued young instruction
+  steals a unit/bus slot from a critical older one);
+* Tomasulo vs the scoreboard (the reservation-station dispatch stage
+  costs one cycle on short serial chains);
+* pipelined vs unsegmented units, interleaved vs serial memory, RUU
+  size and issue width beyond two units, and result-bus width: each
+  fails on roughly one fuzzed trace in a few thousand (shifting one
+  early completion can re-order a later greedy tie-break against the
+  critical path).
+
+Those relations remain true *for the paper's harmonic means*; the
+golden-table regression tests pin them at that level instead.  What
+survives per-trace -- and is pinned below -- is the serial-execution
+edges at the bottom of the hierarchy, the two exact hardware duals,
+and the first widening step (one issue slot admits no reordering
+choices, so a second slot can only help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.base import Simulator
+from ..core.config import MachineConfig
+from ..core.registry import build_simulator
+from ..limits import pseudo_dataflow_schedule, resource_limit
+from ..trace import Trace
+
+#: The machine set `repro verify` replays by default: every fixed
+#: registry spec plus representative points of each parameter sweep.
+DEFAULT_ORACLE_MACHINES: Tuple[str, ...] = (
+    "simple",
+    "serialmemory",
+    "nonsegmented",
+    "cray",
+    "cdc6600",
+    "tomasulo",
+    "inorder:1",
+    "inorder:2",
+    "inorder:4",
+    "ooo:1",
+    "ooo:2",
+    "ooo:4",
+    "ooo:4:1bus",
+    "ruu:1:1",
+    "ruu:2:10",
+    "ruu:2:50",
+    "ruu:4:50",
+    "ruu:4:50:1bus",
+)
+
+#: Memory-system wrapper specs use their own access latencies (cache hits
+#: can beat the config's memory latency), so the config-derived limit
+#: bounds do not apply to them.
+_BOUND_EXEMPT_HEADS = frozenset({"cache", "banked"})
+
+
+@dataclass(frozen=True)
+class OrderingEdge:
+    """One claim ``cycles(fast) <= cycles(slow)`` (``==`` when exact).
+
+    ``fast`` names the machine with the relaxed constraint -- the one the
+    paper argues is at least as good.
+    """
+
+    fast: str
+    slow: str
+    exact: bool = False
+    claim: str = ""
+
+
+#: The paper's partial order, as calibrated edges (see module docstring).
+DEFAULT_EDGES: Tuple[OrderingEdge, ...] = (
+    OrderingEdge("serialmemory", "simple", claim="overlap beats serial execution"),
+    OrderingEdge("cdc6600", "nonsegmented", claim="RAW waits at the units"),
+    OrderingEdge("inorder:1", "cray", exact=True, claim="same hardware, two models"),
+    OrderingEdge("ooo:1", "inorder:1", exact=True, claim="one slot leaves no reordering"),
+    OrderingEdge("inorder:2", "inorder:1", claim="a second issue unit"),
+    OrderingEdge("ruu:2:10", "ruu:1:1", claim="wider issue and a larger RUU"),
+)
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One broken ordering or bound on one (trace, config) replay."""
+
+    check: str
+    machine: str
+    config: str
+    trace_name: str
+    message: str
+    other: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.check}] {self.machine} on {self.trace_name} "
+            f"({self.config}): {self.message}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle measured for one trace under one config."""
+
+    trace_name: str
+    config: str
+    cycles: Dict[str, int] = field(default_factory=dict)
+    dataflow_makespan: int = 0
+    serial_dataflow_makespan: int = 0
+    resource_makespan: int = 0
+    violations: List[OracleViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_oracle(
+    trace: Trace,
+    config: MachineConfig,
+    machines: Sequence[str] = DEFAULT_ORACLE_MACHINES,
+    edges: Sequence[OrderingEdge] = DEFAULT_EDGES,
+    *,
+    simulators: Optional[Mapping[str, Simulator]] = None,
+) -> OracleReport:
+    """Replay *trace* through *machines* and check bounds and orderings.
+
+    Edges whose endpoints are not both in *machines* are skipped, so a
+    caller can verify any subset.  *simulators* substitutes specific
+    instances by spec (the test suite injects deliberately broken
+    machines this way).
+    """
+    report = OracleReport(trace_name=trace.name, config=config.name)
+
+    dataflow = pseudo_dataflow_schedule(trace, config)
+    serial = pseudo_dataflow_schedule(trace, config, serial_waw=True)
+    resource = resource_limit(trace, config)
+    report.dataflow_makespan = dataflow.makespan
+    report.serial_dataflow_makespan = serial.makespan
+    report.resource_makespan = resource.makespan
+
+    if serial.makespan < dataflow.makespan:
+        report.violations.append(
+            OracleViolation(
+                check="serial-dataflow-bound",
+                machine="limits",
+                config=config.name,
+                trace_name=trace.name,
+                message=(
+                    f"serial-WAW dataflow makespan {serial.makespan} beats "
+                    f"the unconstrained makespan {dataflow.makespan}"
+                ),
+            )
+        )
+
+    for spec in machines:
+        if simulators is not None and spec in simulators:
+            sim = simulators[spec]
+        else:
+            sim = build_simulator(spec)
+        result = sim.simulate(trace, config)
+        report.cycles[spec] = result.cycles
+
+        if spec.split(":", 1)[0] in _BOUND_EXEMPT_HEADS:
+            continue
+        if result.cycles < dataflow.makespan:
+            report.violations.append(
+                OracleViolation(
+                    check="dataflow-bound",
+                    machine=spec,
+                    config=config.name,
+                    trace_name=trace.name,
+                    message=(
+                        f"{result.cycles} cycles beats the pseudo-dataflow "
+                        f"critical path of {dataflow.makespan}"
+                    ),
+                )
+            )
+        if result.cycles < resource.makespan:
+            report.violations.append(
+                OracleViolation(
+                    check="resource-bound",
+                    machine=spec,
+                    config=config.name,
+                    trace_name=trace.name,
+                    message=(
+                        f"{result.cycles} cycles beats the resource bound "
+                        f"of {resource.makespan} "
+                        f"(bottleneck {resource.bottleneck})"
+                    ),
+                )
+            )
+
+    for edge in edges:
+        fast = report.cycles.get(edge.fast)
+        slow = report.cycles.get(edge.slow)
+        if fast is None or slow is None:
+            continue
+        if edge.exact:
+            if fast != slow:
+                report.violations.append(
+                    OracleViolation(
+                        check="exact-equality",
+                        machine=edge.fast,
+                        other=edge.slow,
+                        config=config.name,
+                        trace_name=trace.name,
+                        message=(
+                            f"expected identical timing to {edge.slow} "
+                            f"({edge.claim}); got {fast} vs {slow} cycles"
+                        ),
+                    )
+                )
+        elif fast > slow:
+            report.violations.append(
+                OracleViolation(
+                    check="partial-order",
+                    machine=edge.fast,
+                    other=edge.slow,
+                    config=config.name,
+                    trace_name=trace.name,
+                    message=(
+                        f"took {fast} cycles, slower than {edge.slow} at "
+                        f"{slow} ({edge.claim} should never lose)"
+                    ),
+                )
+            )
+    return report

@@ -1,0 +1,247 @@
+"""The ``repro verify`` driver: fuzz, replay, check, shrink, dump.
+
+For each seed the runner generates a trace (:mod:`repro.verify.fuzz`),
+rotates through the requested machine variants, and runs both check
+layers: the per-cycle invariant checker on every machine and the
+cross-machine oracle over the whole set.  On a failure it re-runs the
+single offending check inside a delta-debugging shrink loop
+(:mod:`repro.verify.shrink`) and dumps the minimal reproducing trace as
+JSON-lines (replayable with ``repro replay`` / ``repro simulate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.config import STANDARD_CONFIGS, MachineConfig
+from ..trace import Trace, write_trace
+from .fuzz import FuzzSpec, fuzz_trace
+from .invariants import check_invariants, profile_for_spec
+from .oracle import DEFAULT_EDGES, DEFAULT_ORACLE_MACHINES, run_oracle
+from .shrink import shrink_trace
+
+#: Stop collecting (and shrinking) after this many distinct failures.
+MAX_FAILURES = 5
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """One verification campaign.
+
+    Attributes:
+        seeds: how many fuzzed traces to generate (seeds ``0..seeds-1``,
+            offset by ``first_seed``).
+        machines: registry specs to verify.
+        configs: machine variants; seeds rotate through them.
+        fuzz: trace-shape knobs.
+        shrink: minimise failing traces before reporting.
+        dump_dir: where shrunk reproducer traces are written
+            (``None`` disables dumping).
+        first_seed: base seed (lets CI shards cover disjoint ranges).
+    """
+
+    seeds: int = 50
+    machines: Tuple[str, ...] = DEFAULT_ORACLE_MACHINES
+    configs: Tuple[MachineConfig, ...] = STANDARD_CONFIGS
+    fuzz: FuzzSpec = field(default_factory=FuzzSpec)
+    shrink: bool = True
+    dump_dir: Optional[Path] = None
+    first_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("need at least one seed")
+        if not self.machines:
+            raise ValueError("need at least one machine spec")
+        if not self.configs:
+            raise ValueError("need at least one machine configuration")
+        for spec in self.machines:
+            profile_for_spec(spec)  # fail fast on unknown specs
+
+
+@dataclass(frozen=True)
+class VerifyFailure:
+    """One verified-and-minimised failure."""
+
+    seed: int
+    check: str
+    machine: str
+    config: str
+    message: str
+    trace: Trace
+    repro_path: Optional[Path] = None
+
+    def __str__(self) -> str:
+        dumped = f" (repro: {self.repro_path})" if self.repro_path else ""
+        return (
+            f"seed {self.seed}: [{self.check}] {self.machine} "
+            f"({self.config}), {len(self.trace)}-instruction repro: "
+            f"{self.message}{dumped}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one verification campaign."""
+
+    options: VerifyOptions
+    seeds_run: int = 0
+    checks_run: int = 0
+    failures: List[VerifyFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+Logger = Callable[[str], None]
+
+
+def _failure_signature(violation) -> Tuple[str, str]:
+    return (violation.check, violation.machine)
+
+
+def _first_violation(
+    trace: Trace,
+    config: MachineConfig,
+    machines: Sequence[str],
+):
+    """All-layer check pass; returns (violation, checks_run) with the
+    first violation found (or None)."""
+    checks = 0
+    for spec in machines:
+        checks += 1
+        violations = check_invariants(trace, spec, config)
+        if violations:
+            return violations[0], checks
+    checks += 1
+    oracle = run_oracle(trace, config, machines, DEFAULT_EDGES)
+    if oracle.violations:
+        return oracle.violations[0], checks
+    return None, checks
+
+
+def _still_fails_same_way(
+    signature: Tuple[str, str],
+    config: MachineConfig,
+    machines: Sequence[str],
+) -> Callable[[Trace], bool]:
+    check_id, machine = signature
+
+    def predicate(candidate: Trace) -> bool:
+        try:
+            if machine != "limits" and check_id not in (
+                "partial-order",
+                "exact-equality",
+                "dataflow-bound",
+                "resource-bound",
+                "serial-dataflow-bound",
+            ):
+                violations = check_invariants(candidate, machine, config)
+            else:
+                violations = run_oracle(
+                    candidate, config, machines, DEFAULT_EDGES
+                ).violations
+        except Exception:
+            # A candidate that crashes a model is a different bug; keep
+            # the shrink anchored to the original failure.
+            return False
+        return any(_failure_signature(v) == signature for v in violations)
+
+    return predicate
+
+
+def run_verification(
+    options: Optional[VerifyOptions] = None,
+    *,
+    log: Optional[Logger] = None,
+) -> VerifyReport:
+    """Run a verification campaign and return its report.
+
+    Stops early once :data:`MAX_FAILURES` distinct failures have been
+    collected (each costs a shrink loop); duplicate (check, machine)
+    signatures from later seeds are skipped so one systematic bug does
+    not flood the report.
+    """
+    options = options or VerifyOptions()
+    report = VerifyReport(options=options)
+    seen_signatures = set()
+
+    say = log or (lambda message: None)
+
+    for index in range(options.seeds):
+        seed = options.first_seed + index
+        config = options.configs[index % len(options.configs)]
+        trace = fuzz_trace(seed, options.fuzz)
+        violation, checks = _first_violation(trace, config, options.machines)
+        report.seeds_run += 1
+        report.checks_run += checks
+        if violation is None:
+            continue
+
+        signature = _failure_signature(violation)
+        say(
+            f"seed {seed} ({config.name}): FAILED [{violation.check}] "
+            f"{violation.machine}: {violation.message}"
+        )
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+
+        repro = trace
+        if options.shrink:
+            predicate = _still_fails_same_way(
+                signature, config, options.machines
+            )
+            repro = shrink_trace(
+                trace, predicate, name=f"{trace.name}-shrunk"
+            )
+            say(
+                f"  shrunk {len(trace)} -> {len(repro)} instructions"
+            )
+
+        repro_path: Optional[Path] = None
+        if options.dump_dir is not None:
+            options.dump_dir.mkdir(parents=True, exist_ok=True)
+            repro_path = options.dump_dir / (
+                f"repro-seed{seed}-{violation.check}.jsonl"
+            )
+            write_trace(repro, repro_path)
+            say(f"  reproducer written to {repro_path}")
+
+        # Re-derive the message on the shrunk trace when possible, so the
+        # report points at the minimal witness.
+        message = violation.message
+        small_violation, _ = _first_violation(repro, config, options.machines)
+        if small_violation is not None and (
+            _failure_signature(small_violation) == signature
+        ):
+            message = small_violation.message
+
+        report.failures.append(
+            VerifyFailure(
+                seed=seed,
+                check=violation.check,
+                machine=violation.machine,
+                config=config.name,
+                message=message,
+                trace=repro,
+                repro_path=repro_path,
+            )
+        )
+        if len(report.failures) >= MAX_FAILURES:
+            say(f"stopping after {MAX_FAILURES} distinct failures")
+            break
+
+    return report
+
+
+def smoke_options(seeds: int = 25) -> VerifyOptions:
+    """A small, fast campaign (used by tier-1 tests and CI smoke)."""
+    return replace(
+        VerifyOptions(),
+        seeds=seeds,
+        fuzz=FuzzSpec(length=32),
+    )

@@ -1,0 +1,72 @@
+"""Failure minimisation: shrink a failing trace to a small reproducer.
+
+Greedy delta debugging over the dynamic instruction stream: repeatedly
+try dropping contiguous chunks (halving the chunk size down to single
+instructions) and keep any removal under which the caller's predicate
+still reports the failure.  Subsetting preserves each entry's branch
+outcome and memory address and renumbers sequence positions
+(:func:`repro.trace.subset_trace`), so every intermediate trace is
+well-formed.
+
+The predicate sees a candidate :class:`~repro.trace.Trace` and returns
+True when the *same* failure still occurs -- the verification runner
+binds it to "this specific check still fires on this specific machine",
+so shrinking cannot wander onto a different bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..trace import Trace, subset_trace
+
+#: Shrinking predicate: does this candidate trace still fail the same way?
+ShrinkPredicate = Callable[[Trace], bool]
+
+
+def shrink_trace(
+    trace: Trace,
+    still_fails: ShrinkPredicate,
+    *,
+    max_probes: int = 2000,
+    name: Optional[str] = None,
+) -> Trace:
+    """Return a minimal-ish subtrace of *trace* still failing the predicate.
+
+    The input trace itself must satisfy ``still_fails(trace)``; the
+    result is 1-minimal up to the probe budget (removing any single
+    remaining instruction makes the failure disappear).  ``max_probes``
+    bounds total predicate evaluations, each of which typically replays
+    the candidate through one or more simulators.
+    """
+    indices = list(range(len(trace)))
+    final_name = name or f"{trace.name}-shrunk"
+
+    def candidate(keep) -> Trace:
+        return subset_trace(trace, keep, name=final_name)
+
+    probes = 0
+    chunk = max(len(indices) // 2, 1)
+    while chunk >= 1:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(indices) and len(indices) > 1:
+            if probes >= max_probes:
+                return candidate(indices)
+            keep = indices[:start] + indices[start + chunk:]
+            if not keep:
+                start += chunk
+                continue
+            probes += 1
+            if still_fails(candidate(keep)):
+                indices = keep
+                shrunk_this_pass = True
+                # The window now holds fresh entries; retry in place.
+            else:
+                start += chunk
+        if chunk == 1 and not shrunk_this_pass:
+            break
+        if chunk > 1:
+            chunk = max(chunk // 2, 1)
+        # chunk == 1 and something shrank: run another single-entry pass.
+    return candidate(indices)

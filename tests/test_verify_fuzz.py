@@ -1,0 +1,99 @@
+"""Tests for the seeded trace fuzzer (:mod:`repro.verify.fuzz`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.record import Trace
+from repro.verify import FuzzSpec, fuzz_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        first = fuzz_trace(7)
+        second = fuzz_trace(7)
+        assert len(first) == len(second)
+        for a, b in zip(first.entries, second.entries):
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        first = fuzz_trace(1)
+        second = fuzz_trace(2)
+        assert any(
+            a != b for a, b in zip(first.entries, second.entries)
+        )
+
+    def test_spec_changes_the_trace(self):
+        plain = fuzz_trace(3)
+        dense = fuzz_trace(3, FuzzSpec(dependency_density=1.0))
+        assert any(
+            a != b for a, b in zip(plain.entries, dense.entries)
+        )
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_traces_validate(self, seed):
+        trace = fuzz_trace(seed)
+        # Trace/TraceEntry validate on construction; re-wrapping the
+        # entries re-runs every record check.
+        Trace(trace.name, trace.entries)
+
+    def test_sequence_numbers_are_dense(self):
+        trace = fuzz_trace(5)
+        assert [entry.seq for entry in trace.entries] == list(
+            range(len(trace))
+        )
+
+    def test_memory_ops_carry_addresses(self):
+        trace = fuzz_trace(9, FuzzSpec(memory_fraction=1.0, branch_fraction=0.0))
+        for entry in trace.entries:
+            assert entry.instruction.accesses_memory
+            assert entry.address is not None
+
+    def test_branches_carry_outcomes(self):
+        trace = fuzz_trace(
+            4, FuzzSpec(branch_fraction=1.0, memory_fraction=0.0)
+        )
+        assert all(entry.instruction.is_branch for entry in trace.entries)
+        assert all(entry.taken is not None for entry in trace.entries)
+
+
+class TestKnobs:
+    def test_length(self):
+        assert len(fuzz_trace(0, FuzzSpec(length=17))) == 17
+        assert len(fuzz_trace(0, FuzzSpec(length=1))) == 1
+
+    def test_taken_fraction_extremes(self):
+        spec_taken = FuzzSpec(
+            branch_fraction=1.0, memory_fraction=0.0, taken_fraction=1.0
+        )
+        trace = fuzz_trace(8, spec_taken)
+        assert all(entry.taken for entry in trace.entries)
+        spec_untaken = FuzzSpec(
+            branch_fraction=1.0, memory_fraction=0.0, taken_fraction=0.0
+        )
+        trace = fuzz_trace(8, spec_untaken)
+        # Unconditional jumps are always taken; conditionals never are.
+        for entry in trace.entries:
+            if entry.instruction.srcs:
+                assert not entry.taken
+
+    def test_mix_fractions_shift_the_mix(self):
+        heavy = fuzz_trace(
+            6, FuzzSpec(length=200, memory_fraction=0.8, branch_fraction=0.1)
+        )
+        light = fuzz_trace(
+            6, FuzzSpec(length=200, memory_fraction=0.05, branch_fraction=0.1)
+        )
+        heavy_mem = sum(1 for e in heavy.entries if e.instruction.accesses_memory)
+        light_mem = sum(1 for e in light.entries if e.instruction.accesses_memory)
+        assert heavy_mem > light_mem
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzSpec(length=0)
+        with pytest.raises(ValueError):
+            FuzzSpec(dependency_density=1.5)
+        with pytest.raises(ValueError):
+            FuzzSpec(memory_fraction=0.7, branch_fraction=0.7)

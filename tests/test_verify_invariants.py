@@ -1,0 +1,142 @@
+"""Tests for the per-cycle invariant checker (:mod:`repro.verify.invariants`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import M11BR5, M5BR2, MachineConfig
+from repro.core.registry import build_simulator
+from repro.obs.events import EventKind, SimEvent
+from repro.verify import check_invariants, fuzz_trace, profile_for_spec
+from repro.verify.oracle import DEFAULT_ORACLE_MACHINES
+
+
+class MutatedLatencyMachine:
+    """A real machine silently replaying under a different latency table.
+
+    Models the classic reproduction bug: a latency constant edited in
+    one machine but not in the shared configuration.
+    """
+
+    def __init__(self, inner, mutated: MachineConfig) -> None:
+        self.inner = inner
+        self.mutated = mutated
+
+    def simulate(self, trace, config):
+        return self.inner.simulate(trace, self.mutated)
+
+    def simulate_observed(self, trace, config, on_event):
+        return self.inner.simulate_observed(trace, self.mutated, on_event)
+
+
+class CompletionShiftMachine:
+    """Tampers with the event stream: every COMPLETE reported a cycle early."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def simulate(self, trace, config):
+        return self.inner.simulate(trace, config)
+
+    def simulate_observed(self, trace, config, on_event):
+        def shifted(event: SimEvent) -> None:
+            if event.kind is EventKind.COMPLETE:
+                event = SimEvent(
+                    kind=event.kind,
+                    seq=event.seq,
+                    cycle=event.cycle - 1,
+                    reason=event.reason,
+                    cycles=event.cycles,
+                )
+            on_event(event)
+
+        return self.inner.simulate_observed(trace, config, shifted)
+
+
+class TestCleanMachinesPass:
+    @pytest.mark.parametrize("spec", DEFAULT_ORACLE_MACHINES)
+    def test_no_violations_on_fuzzed_traces(self, spec):
+        for seed in range(4):
+            trace = fuzz_trace(seed)
+            assert check_invariants(trace, spec, M11BR5) == []
+            assert check_invariants(trace, spec, M5BR2) == []
+
+    def test_no_violations_on_a_real_kernel(self, loop5_trace):
+        for spec in ("cray", "tomasulo", "ruu:2:20", "inorder:2"):
+            assert check_invariants(loop5_trace, spec, M11BR5) == []
+
+
+class TestProfiles:
+    def test_eventless_machines(self):
+        for spec in ("simple", "cdc6600", "cache:256", "banked:8"):
+            assert not profile_for_spec(spec).emits_events
+
+    def test_blocking_vs_buffered(self):
+        assert profile_for_spec("cray").blocking
+        assert profile_for_spec("inorder:4").blocking
+        assert not profile_for_spec("tomasulo").blocking
+        assert not profile_for_spec("ruu:2:10").blocking
+
+    def test_parameters_flow_through(self):
+        profile = profile_for_spec("ruu:4:50")
+        assert profile.issue_width == 4
+        assert profile.window_size == 50
+
+    def test_unknown_spec_raises(self):
+        from repro.core.registry import UnknownSpecError
+
+        with pytest.raises(UnknownSpecError):
+            profile_for_spec("warp-drive")
+
+
+class TestBrokenMachinesAreCaught:
+    def test_mutated_latency_table_caught(self):
+        # Memory latency silently dropped from 11 to 5: loads complete
+        # six cycles early, violating the exact completion discipline.
+        broken = MutatedLatencyMachine(
+            build_simulator("cray"), MachineConfig(memory_latency=5)
+        )
+        trace = fuzz_trace(0)  # default mix: ~20% memory references
+        violations = check_invariants(
+            trace, "cray", M11BR5, simulator=broken
+        )
+        assert violations, "mutated latency table went undetected"
+        checks = {violation.check for violation in violations}
+        assert "completion-latency-exact" in checks
+
+    def test_mutated_branch_latency_caught(self):
+        broken = MutatedLatencyMachine(
+            build_simulator("inorder:2"), MachineConfig(branch_latency=2)
+        )
+        trace = fuzz_trace(
+            1, spec=None
+        )
+        violations = check_invariants(
+            trace, "inorder:2", M11BR5, simulator=broken
+        )
+        assert any(
+            violation.check == "completion-latency-exact"
+            for violation in violations
+        )
+
+    def test_event_tampering_caught(self):
+        broken = CompletionShiftMachine(build_simulator("cray"))
+        trace = fuzz_trace(2)
+        violations = check_invariants(trace, "cray", M11BR5, simulator=broken)
+        assert any(
+            violation.check == "completion-latency-exact"
+            for violation in violations
+        )
+
+    def test_violation_rendering_names_the_site(self):
+        broken = MutatedLatencyMachine(
+            build_simulator("cray"), MachineConfig(memory_latency=5)
+        )
+        trace = fuzz_trace(0)
+        violation = check_invariants(
+            trace, "cray", M11BR5, simulator=broken
+        )[0]
+        text = str(violation)
+        assert "cray" in text
+        assert "M11BR5" in text
+        assert violation.trace_name in text
