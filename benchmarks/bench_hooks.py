@@ -22,7 +22,7 @@ import argparse
 import sys
 import time
 
-from repro.core import config_by_name
+from repro.core import config_by_name, fastpath
 from repro.core.scoreboard import cray_like_machine
 from repro.kernels import ALL_LOOPS, build_kernel
 
@@ -45,22 +45,30 @@ def measure(rounds: int, config_name: str):
     machine = cray_like_machine()
     traces, config = build_workload(config_name)
 
-    # Correctness first: hooks-disabled must be bit-identical to the seed.
-    for trace in traces:
-        hooked = machine.simulate(trace, config)
-        reference = machine.reference_simulate(trace, config)
-        if hooked.cycles != reference.cycles:
-            raise SystemExit(
-                f"cycle mismatch on {trace.name}: "
-                f"simulate={hooked.cycles} reference={reference.cycles}"
-            )
+    # This gate measures the *hook plumbing* in the reference issue loop,
+    # not the compiled fast path (repro.bench covers that), so pin the
+    # fast-path dispatch off for the duration.
+    previous = fastpath.set_enabled(False)
+    try:
+        # Correctness first: hooks-disabled must be bit-identical to the
+        # seed.
+        for trace in traces:
+            hooked = machine.simulate(trace, config)
+            reference = machine.reference_simulate(trace, config)
+            if hooked.cycles != reference.cycles:
+                raise SystemExit(
+                    f"cycle mismatch on {trace.name}: "
+                    f"simulate={hooked.cycles} reference={reference.cycles}"
+                )
 
-    hooked_times, reference_times = [], []
-    for _ in range(rounds):
-        hooked_times.append(time_pass(machine.simulate, traces, config))
-        reference_times.append(
-            time_pass(machine.reference_simulate, traces, config)
-        )
+        hooked_times, reference_times = [], []
+        for _ in range(rounds):
+            hooked_times.append(time_pass(machine.simulate, traces, config))
+            reference_times.append(
+                time_pass(machine.reference_simulate, traces, config)
+            )
+    finally:
+        fastpath.set_enabled(previous)
     return min(hooked_times), min(reference_times)
 
 

@@ -33,6 +33,15 @@ from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .analysis import stall_breakdown
+from .bench import (
+    BenchOptions,
+    BenchReport,
+    Comparison,
+    compare_reports as _compare_reports,
+    load_report as _load_bench_report,
+    options_from as _bench_options_from,
+    run_suite as _run_bench_suite,
+)
 from .core import SimulationResult, build_simulator, config_by_name
 from .core.registry import UnknownSpecError, available_specs, list_specs
 from .harness import experiments as _experiments
@@ -64,11 +73,15 @@ from .trace import (
 Sizes = Optional[Mapping[int, int]]
 
 __all__ = [
+    "BenchOptions",
+    "BenchReport",
     "RunManifest",
     "TableRun",
     "UnknownSpecError",
     "VerifyReport",
+    "bench_options",
     "capture",
+    "compare_bench",
     "disassemble",
     "find_run",
     "kernel_stats",
@@ -76,7 +89,9 @@ __all__ = [
     "list_machines",
     "list_runs",
     "list_tables",
+    "load_bench_report",
     "replay",
+    "run_bench",
     "run_table",
     "section33",
     "simulate",
@@ -385,6 +400,61 @@ def verify_machines(
         first_seed=first_seed,
     )
     return run_verification(options, log=log)
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+def bench_options(
+    *,
+    quick: bool = False,
+    seeds: Optional[int] = None,
+    trace_length: Optional[int] = None,
+    rounds: Optional[int] = None,
+    machines: Optional[Sequence[str]] = None,
+    no_engine: bool = False,
+) -> BenchOptions:
+    """Suite options: the quick/full preset plus explicit overrides."""
+    return _bench_options_from(
+        quick=quick,
+        seeds=seeds,
+        trace_length=trace_length,
+        rounds=rounds,
+        machines=tuple(machines) if machines is not None else None,
+        no_engine=no_engine,
+    )
+
+
+def run_bench(
+    options: Optional[BenchOptions] = None,
+    *,
+    name: str = "fastpath",
+    log: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the seeded micro-benchmark suite (see :mod:`repro.bench`).
+
+    Measures fast-path vs reference replay throughput per machine,
+    per-table wall time and engine cold/warm cache behaviour; returns a
+    :class:`~repro.bench.BenchReport` (``report.write(path)`` persists
+    it as ``repro-bench/v1`` JSON).
+    """
+    return _run_bench_suite(options, name=name, log=log)
+
+
+def load_bench_report(path: str) -> BenchReport:
+    """Read and schema-validate a ``repro-bench/v1`` report file."""
+    return _load_bench_report(path)
+
+
+def compare_bench(
+    current: BenchReport,
+    baseline: BenchReport,
+    *,
+    threshold: float = 0.25,
+) -> Comparison:
+    """Flag benchmarks that regressed beyond the noise *threshold*."""
+    return _compare_reports(current, baseline, threshold=threshold)
 
 
 # ----------------------------------------------------------------------

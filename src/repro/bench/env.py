@@ -1,0 +1,49 @@
+"""Environment metadata stamped into every benchmark report.
+
+Benchmark numbers are only comparable within one environment; the
+report captures enough of it (interpreter, platform, CPU count, git
+revision, fast-path state) that ``repro bench --compare`` can warn when
+two reports were measured on visibly different machines.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict
+
+from ..core import fastpath
+from ..obs.manifest import current_git_sha
+
+__all__ = ["environment_metadata", "environments_comparable"]
+
+#: Keys whose values must match for two reports to be comparable.
+_COMPARABLE_KEYS = ("implementation", "machine",)
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """A JSON-safe snapshot of the measuring environment."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": current_git_sha() or "",
+        "fastpath_enabled": fastpath.enabled(),
+    }
+
+
+def environments_comparable(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> bool:
+    """Were two reports measured on plausibly comparable hardware?
+
+    Deliberately loose: Python patch level and git revision are allowed
+    to differ (that is the point of comparing), but a CPython-vs-PyPy or
+    x86-vs-ARM comparison is flagged so the caller can soften its
+    verdict to a warning.
+    """
+    return all(
+        current.get(key) == baseline.get(key) for key in _COMPARABLE_KEYS
+    )

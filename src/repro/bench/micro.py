@@ -1,0 +1,260 @@
+"""The seeded micro-benchmark suite behind ``repro bench``.
+
+Three benchmark families, all deterministic in their workloads (fuzzed
+traces come from fixed seeds, tables run at the pinned ``SMALL_SIZES``):
+
+* ``machine.<spec>.{fast,reference,speedup}`` -- replay throughput
+  (instructions/second) of the compiled fast path
+  (:mod:`repro.core.fastpath`) and the event-capable reference loop on
+  the same fuzzed traces, plus their ratio.  Every measured machine must
+  expose ``reference_simulate``; cycle counts are asserted identical
+  before any timing, so a fast-path divergence fails the benchmark
+  rather than producing a fast wrong number.
+* ``table.<id>.wall`` -- wall seconds to build and run one paper table
+  in-process (``workers=1``, no cache): the end-to-end single-core cost
+  a contributor pays per golden-table check.
+* ``engine.<id>.{cold,warm}`` -- the same table through
+  :func:`repro.harness.engine.run_plan` against a fresh
+  :class:`~repro.trace.DiskCache` (cold) and again on the now-populated
+  store (warm).
+
+Methodology: variants are timed in interleaved rounds and compared on
+their minimum round time -- the minimum is the least noisy location
+estimator on a shared machine, and interleaving cancels slow drift.  A
+warm-up pass precedes timing so the fast path's per-trace compilation
+(cached by trace identity) is excluded from replay throughput.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from datetime import datetime, timezone
+from typing import Callable, List, Optional, Tuple
+
+from ..core import build_simulator, config_by_name, fastpath
+from ..harness.engine import run_plan
+from ..harness.plans import build_plan
+from ..kernels import SMALL_SIZES
+from ..trace import DiskCache
+from ..verify.fuzz import FuzzSpec, fuzz_trace
+from .env import environment_metadata
+from .report import BenchReport
+
+__all__ = [
+    "BenchOptions",
+    "DEFAULT_OPTIONS",
+    "QUICK_OPTIONS",
+    "run_suite",
+]
+
+#: Fast-path machines benchmarked by default: the two scoreboard
+#: variants the paper leans on plus two in-order widths, covering both
+#: rewritten inner loops.
+DEFAULT_MACHINES: Tuple[str, ...] = (
+    "cray",
+    "serialmemory",
+    "inorder:2",
+    "inorder:4",
+)
+
+Log = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """Knobs for one suite run (see :data:`QUICK_OPTIONS` for CI)."""
+
+    quick: bool = False
+    seeds: int = 40
+    trace_length: int = 1024
+    rounds: int = 5
+    machines: Tuple[str, ...] = DEFAULT_MACHINES
+    config: str = "M11BR5"
+    tables: Tuple[str, ...] = ("table1",)
+    engine: bool = True
+
+
+DEFAULT_OPTIONS = BenchOptions()
+
+#: The CI smoke configuration: small enough to finish in well under 30
+#: seconds, large enough that the fast-path speedup is unambiguous.
+QUICK_OPTIONS = BenchOptions(
+    quick=True, seeds=12, trace_length=256, rounds=3
+)
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _time_pass(fn, traces, config) -> float:
+    start = time.perf_counter()
+    for trace in traces:
+        fn(trace, config)
+    return time.perf_counter() - start
+
+
+def _bench_machines(options: BenchOptions, report: BenchReport, log: Log):
+    config = config_by_name(options.config)
+    spec_shape = FuzzSpec(length=options.trace_length)
+    traces = [
+        fuzz_trace(seed, spec_shape) for seed in range(options.seeds)
+    ]
+    total_instructions = sum(len(trace) for trace in traces)
+
+    for spec in options.machines:
+        simulator = build_simulator(spec)
+        reference = getattr(simulator, "reference_simulate", None)
+        if reference is None:
+            raise ValueError(
+                f"machine {spec!r} has no reference_simulate; only "
+                "fast-path machines can be replay-benchmarked"
+            )
+
+        # Correctness gate plus warm-up (populates the compile cache so
+        # timing measures replay, not per-trace compilation).
+        for trace in traces:
+            fast_cycles = simulator.simulate(trace, config).cycles
+            ref_cycles = reference(trace, config).cycles
+            if fast_cycles != ref_cycles:
+                raise ValueError(
+                    f"fast path diverged on {spec} / {trace.name}: "
+                    f"{fast_cycles} vs {ref_cycles} cycles -- refusing "
+                    "to benchmark a wrong answer"
+                )
+
+        fast_times: List[float] = []
+        reference_times: List[float] = []
+        for _ in range(options.rounds):
+            fast_times.append(
+                _time_pass(simulator.simulate, traces, config)
+            )
+            reference_times.append(_time_pass(reference, traces, config))
+
+        fast = total_instructions / min(fast_times)
+        ref = total_instructions / min(reference_times)
+        report.add(f"machine.{spec}.fast", fast, "instr/s")
+        report.add(f"machine.{spec}.reference", ref, "instr/s")
+        report.add(f"machine.{spec}.speedup", fast / ref, "x")
+        if log:
+            log(
+                f"  machine.{spec:<14} fast {fast:>12,.0f} instr/s  "
+                f"reference {ref:>12,.0f} instr/s  "
+                f"speedup {fast / ref:.2f}x"
+            )
+
+
+def _bench_tables(options: BenchOptions, report: BenchReport, log: Log):
+    sizes = dict(SMALL_SIZES)
+    for table_id in options.tables:
+        times: List[float] = []
+        for _ in range(options.rounds):
+            start = time.perf_counter()
+            plan = build_plan(table_id, sizes)
+            run_plan(plan, workers=1, cache=None)
+            times.append(time.perf_counter() - start)
+        wall = min(times)
+        report.add(
+            f"table.{table_id}.wall", wall, "s", higher_is_better=False
+        )
+        if log:
+            log(f"  table.{table_id}.wall {wall * 1e3:>10.1f} ms")
+
+
+def _bench_engine(options: BenchOptions, report: BenchReport, log: Log):
+    sizes = dict(SMALL_SIZES)
+    for table_id in options.tables:
+        plan = build_plan(table_id, sizes)
+        cold_times: List[float] = []
+        warm_times: List[float] = []
+        for _ in range(options.rounds):
+            with tempfile.TemporaryDirectory() as tmp:
+                store = DiskCache(root=tmp)
+                start = time.perf_counter()
+                run_plan(plan, workers=1, cache=store)
+                cold_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                run_plan(plan, workers=1, cache=store)
+                warm_times.append(time.perf_counter() - start)
+        cold, warm = min(cold_times), min(warm_times)
+        report.add(
+            f"engine.{table_id}.cold", cold, "s", higher_is_better=False
+        )
+        report.add(
+            f"engine.{table_id}.warm", warm, "s", higher_is_better=False
+        )
+        if log:
+            log(
+                f"  engine.{table_id} cold {cold * 1e3:>8.1f} ms  "
+                f"warm {warm * 1e3:>8.1f} ms"
+            )
+
+
+def run_suite(
+    options: Optional[BenchOptions] = None,
+    *,
+    name: str = "fastpath",
+    log: Log = None,
+) -> BenchReport:
+    """Run the full micro-benchmark suite and return its report.
+
+    The fast path is pinned enabled for the duration (and restored
+    afterwards), so a ``REPRO_FASTPATH=0`` environment still measures
+    what the suite claims to measure.
+    """
+    options = options or DEFAULT_OPTIONS
+    report = BenchReport(
+        name=name,
+        created=_now(),
+        environment=environment_metadata(),
+        parameters={
+            "quick": options.quick,
+            "seeds": options.seeds,
+            "trace_length": options.trace_length,
+            "rounds": options.rounds,
+            "machines": list(options.machines),
+            "config": options.config,
+            "tables": list(options.tables),
+        },
+    )
+    previous = fastpath.set_enabled(True)
+    try:
+        if log:
+            log(f"bench {name}: {len(options.machines)} machines, "
+                f"{options.seeds} traces x {options.trace_length} instrs, "
+                f"min of {options.rounds} rounds")
+        _bench_machines(options, report, log)
+        if options.tables:
+            _bench_tables(options, report, log)
+        if options.engine and options.tables:
+            _bench_engine(options, report, log)
+    finally:
+        fastpath.set_enabled(previous)
+    return report
+
+
+def options_from(
+    *,
+    quick: bool = False,
+    seeds: Optional[int] = None,
+    trace_length: Optional[int] = None,
+    rounds: Optional[int] = None,
+    machines: Optional[Tuple[str, ...]] = None,
+    no_engine: bool = False,
+) -> BenchOptions:
+    """The CLI's option builder: quick preset plus explicit overrides."""
+    options = QUICK_OPTIONS if quick else DEFAULT_OPTIONS
+    overrides = {}
+    if seeds is not None:
+        overrides["seeds"] = seeds
+    if trace_length is not None:
+        overrides["trace_length"] = trace_length
+    if rounds is not None:
+        overrides["rounds"] = rounds
+    if machines is not None:
+        overrides["machines"] = tuple(machines)
+    if no_engine:
+        overrides["engine"] = False
+    return replace(options, **overrides) if overrides else options

@@ -1,0 +1,295 @@
+"""Benchmark report schema (``repro-bench/v1``) and comparison logic.
+
+A report is a JSON document::
+
+    {
+      "schema": "repro-bench/v1",
+      "name": "fastpath",
+      "created": "2026-08-06T12:00:00Z",
+      "environment": {"python": "3.11.7", ...},
+      "parameters": {"quick": true, "seeds": 12, ...},
+      "benchmarks": [
+        {"id": "machine.cray.fast", "value": 1890856.0,
+         "unit": "instr/s", "higher_is_better": true},
+        ...
+      ]
+    }
+
+:func:`validate_payload` checks that shape (returning problems instead
+of raising, so the CLI can report every defect at once), and
+:func:`compare_reports` matches two reports benchmark-by-benchmark,
+flagging any direction-adjusted relative change worse than a noise
+threshold as a regression.  Missing or extra benchmark ids are reported
+but are never regressions -- suites are allowed to grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .env import environments_comparable
+
+__all__ = [
+    "SCHEMA",
+    "BenchReport",
+    "BenchResult",
+    "Comparison",
+    "Delta",
+    "compare_reports",
+    "load_report",
+    "validate_payload",
+]
+
+SCHEMA = "repro-bench/v1"
+
+#: Default noise threshold for --compare: a benchmark must move more
+#: than this fraction in the losing direction to count as a regression.
+#: Wall-clock micro-benchmarks on shared CI runners are noisy; 25% is
+#: calibrated to catch a real fast-path loss (3x -> 2x) while ignoring
+#: scheduler jitter.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured number.
+
+    Attributes:
+        id: stable dotted identifier (``machine.cray.speedup``);
+            comparisons match on it.
+        value: the measurement (min over interleaved rounds for timings).
+        unit: human label (``instr/s``, ``s``, ``x``).
+        higher_is_better: direction; ``False`` for wall times.
+    """
+
+    id: str
+    value: float
+    unit: str
+    higher_is_better: bool = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+        }
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run, serialisable to the v1 JSON schema."""
+
+    name: str
+    created: str
+    environment: Dict[str, Any]
+    parameters: Dict[str, Any]
+    results: List[BenchResult] = field(default_factory=list)
+
+    def add(
+        self,
+        result_id: str,
+        value: float,
+        unit: str,
+        *,
+        higher_is_better: bool = True,
+    ) -> BenchResult:
+        result = BenchResult(result_id, value, unit, higher_is_better)
+        self.results.append(result)
+        return result
+
+    def result(self, result_id: str) -> Optional[BenchResult]:
+        for result in self.results:
+            if result.id == result_id:
+                return result
+        return None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "created": self.created,
+            "environment": dict(self.environment),
+            "parameters": dict(self.parameters),
+            "benchmarks": [result.to_payload() for result in self.results],
+        }
+
+    def write(self, path: os.PathLike) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_payload(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BenchReport":
+        problems = validate_payload(payload)
+        if problems:
+            raise ValueError(
+                "invalid benchmark report: " + "; ".join(problems)
+            )
+        return cls(
+            name=payload["name"],
+            created=payload["created"],
+            environment=dict(payload["environment"]),
+            parameters=dict(payload.get("parameters", {})),
+            results=[
+                BenchResult(
+                    id=entry["id"],
+                    value=float(entry["value"]),
+                    unit=entry["unit"],
+                    higher_is_better=bool(entry["higher_is_better"]),
+                )
+                for entry in payload["benchmarks"]
+            ],
+        )
+
+
+def validate_payload(payload: Any) -> List[str]:
+    """Every schema defect in *payload* (empty list = valid v1 report)."""
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for key in ("name", "created"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            problems.append(f"{key!r} must be a non-empty string")
+    if not isinstance(payload.get("environment"), Mapping):
+        problems.append("'environment' must be an object")
+    if "parameters" in payload and not isinstance(
+        payload["parameters"], Mapping
+    ):
+        problems.append("'parameters' must be an object")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, Sequence) or isinstance(benchmarks, str):
+        problems.append("'benchmarks' must be an array")
+        return problems
+    seen: set = set()
+    for index, entry in enumerate(benchmarks):
+        where = f"benchmarks[{index}]"
+        if not isinstance(entry, Mapping):
+            problems.append(f"{where} is not an object")
+            continue
+        bench_id = entry.get("id")
+        if not isinstance(bench_id, str) or not bench_id:
+            problems.append(f"{where}: 'id' must be a non-empty string")
+        elif bench_id in seen:
+            problems.append(f"{where}: duplicate id {bench_id!r}")
+        else:
+            seen.add(bench_id)
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{where}: 'value' must be a number")
+        elif value != value or value in (float("inf"), float("-inf")):
+            problems.append(f"{where}: 'value' must be finite")
+        if not isinstance(entry.get("unit"), str):
+            problems.append(f"{where}: 'unit' must be a string")
+        if not isinstance(entry.get("higher_is_better"), bool):
+            problems.append(f"{where}: 'higher_is_better' must be a bool")
+    return problems
+
+
+def load_report(path: os.PathLike) -> BenchReport:
+    """Read and validate a report file (raises ValueError on defects)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return BenchReport.from_payload(payload)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark present in both reports.
+
+    ``change`` is the signed relative move with *improvement positive*
+    regardless of direction: +0.10 always means 10% better than the
+    baseline, for a throughput and for a wall time alike.
+    """
+
+    id: str
+    unit: str
+    baseline: float
+    current: float
+    change: float
+    regression: bool
+
+    def __str__(self) -> str:
+        verdict = "REGRESSION" if self.regression else "ok"
+        return (
+            f"{self.id:<32} {self.baseline:>14,.2f} -> "
+            f"{self.current:>14,.2f} {self.unit:<8} "
+            f"{self.change:+8.1%}  {verdict}"
+        )
+
+
+@dataclass
+class Comparison:
+    """The outcome of matching a current report against a baseline."""
+
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    missing: Tuple[str, ...] = ()  # in baseline, absent from current
+    added: Tuple[str, ...] = ()  # in current, absent from baseline
+    environment_comparable: bool = True
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Match *current* against *baseline* benchmark-by-benchmark.
+
+    A benchmark regresses when its direction-adjusted relative change is
+    below ``-threshold``; moves inside the band are noise, improvements
+    of any size are fine.  Ids present in only one report are listed in
+    ``missing``/``added`` but never fail the comparison.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    comparison = Comparison(
+        threshold=threshold,
+        environment_comparable=environments_comparable(
+            current.environment, baseline.environment
+        ),
+    )
+    base_by_id = {result.id: result for result in baseline.results}
+    current_ids = {result.id for result in current.results}
+    comparison.missing = tuple(
+        sorted(set(base_by_id) - current_ids)
+    )
+    comparison.added = tuple(sorted(current_ids - set(base_by_id)))
+
+    for result in current.results:
+        base = base_by_id.get(result.id)
+        if base is None:
+            continue
+        if base.value == 0:
+            change = 0.0
+        elif result.higher_is_better:
+            change = (result.value - base.value) / base.value
+        else:
+            change = (base.value - result.value) / base.value
+        comparison.deltas.append(
+            Delta(
+                id=result.id,
+                unit=result.unit,
+                baseline=base.value,
+                current=result.value,
+                change=change,
+                regression=change < -threshold,
+            )
+        )
+    return comparison

@@ -19,11 +19,15 @@ parses arguments and prints, the facade does the work:
 * ``replay``   -- time a saved trace on any machine;
 * ``verify``   -- differential verification: fuzz traces, replay them
   through every machine, check per-cycle invariants and cross-machine
-  ordering/bound claims, shrink any failure to a minimal reproducer.
+  ordering/bound claims, shrink any failure to a minimal reproducer;
+* ``bench``    -- seeded micro-benchmarks (fast-path vs reference replay
+  throughput, table wall time, engine cold/warm cache); writes a
+  ``repro-bench/v1`` JSON report and, with ``--compare BASELINE``,
+  flags regressions beyond a noise threshold.
 
-Subcommands that render a verdict (``verify``, ``stats``) decide their
-exit code *before* printing, so a downstream ``| head`` closing stdout
-(``BrokenPipeError``) cannot turn a failure into exit 0.
+Subcommands that render a verdict (``verify``, ``stats``, ``bench``)
+decide their exit code *before* printing, so a downstream ``| head``
+closing stdout (``BrokenPipeError``) cannot turn a failure into exit 0.
 """
 
 from __future__ import annotations
@@ -241,6 +245,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-seed progress; print only the summary",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="seeded micro-benchmarks; JSON report + baseline comparison",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI smoke preset (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--name",
+        default="fastpath",
+        help="report name (default 'fastpath'; names the output file)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="report path (default BENCH_<name>.json; '-' skips writing)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative noise band for --compare (default 0.25)",
+    )
+    bench.add_argument(
+        "--seeds", type=int, default=None, help="fuzzed traces per machine"
+    )
+    bench.add_argument(
+        "--trace-length", type=int, default=None, help="instructions per trace"
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None, help="interleaved timing rounds"
+    )
+    bench.add_argument(
+        "--machines",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="fast-path machine specs to replay-benchmark",
+    )
+    bench.add_argument(
+        "--no-engine",
+        action="store_true",
+        help="skip the engine cold/warm cache benchmarks",
+    )
+    bench.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-benchmark progress lines",
+    )
+
     return parser
 
 
@@ -435,6 +497,70 @@ def run_verify(args) -> int:
     return code
 
 
+def run_bench(args) -> int:
+    """The ``bench`` subcommand: run the suite, persist, compare."""
+    log = None if args.quiet else print
+    try:
+        options = api.bench_options(
+            quick=args.quick,
+            seeds=args.seeds,
+            trace_length=args.trace_length,
+            rounds=args.rounds,
+            machines=args.machines,
+            no_engine=args.no_engine,
+        )
+    except TypeError as exc:  # pragma: no cover - argparse guards types
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Load (and validate) the baseline *before* the expensive run, so a
+    # bad path or malformed file fails in milliseconds.
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = api.load_bench_report(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            _set_pending_exit(2)
+            print(f"error: bad baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    report = api.run_bench(options, name=args.name, log=log)
+
+    out = args.out if args.out is not None else f"BENCH_{args.name}.json"
+    if out != "-":
+        report.write(out)
+        if log:
+            log(f"wrote {len(report.results)} benchmarks to {out}")
+
+    if baseline is None:
+        return 0
+
+    threshold = 0.25 if args.threshold is None else args.threshold
+    comparison = api.compare_bench(report, baseline, threshold=threshold)
+    # Verdict before printing: a broken pipe must not hide a regression.
+    code = 0 if comparison.ok else 1
+    _set_pending_exit(code)
+    print(
+        f"compare vs {args.compare} (threshold {threshold:.0%}): "
+        + ("OK" if comparison.ok
+           else f"{len(comparison.regressions)} REGRESSIONS")
+    )
+    if not comparison.environment_comparable:
+        print(
+            "  warning: reports were measured on different "
+            "interpreters/architectures; deltas may be meaningless",
+            file=sys.stderr,
+        )
+    for delta in comparison.deltas:
+        print(f"  {delta}")
+    for missing in comparison.missing:
+        print(f"  {missing:<32} (in baseline only)")
+    for added in comparison.added:
+        print(f"  {added:<32} (new, no baseline)")
+    return code
+
+
 #: Exit code to use if stdout breaks mid-print: subcommands record their
 #: verdict here as soon as it is known, before rendering any output.
 _pending_exit = 0
@@ -483,6 +609,9 @@ def _dispatch(args) -> int:
 
     if args.command == "verify":
         return run_verify(args)
+
+    if args.command == "bench":
+        return run_bench(args)
 
     if args.command == "replay":
         print(api.replay(args.trace, args.machine, config=args.config))

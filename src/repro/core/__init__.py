@@ -1,5 +1,6 @@
 """Timing simulators for every instruction-issue method in the paper."""
 
+from . import fastpath
 from .base import Simulator
 from .buses import BusKind, ResultBuses, SlotPerCycle
 from .cdc6600 import CDC6600Machine
@@ -21,6 +22,7 @@ from .registry import (
     build_simulator,
     list_specs,
 )
+from .fastpath import CompiledTrace, compile_trace
 from .result import SimulationResult
 from .ruu import RUUMachine
 from .scoreboard import (
@@ -35,6 +37,7 @@ from .tomasulo import TomasuloMachine
 __all__ = [
     "BusKind",
     "CDC6600Machine",
+    "CompiledTrace",
     "CONFIGS_BY_NAME",
     "InOrderMultiIssueMachine",
     "M11BR2",
@@ -55,6 +58,8 @@ __all__ = [
     "UnknownSpecError",
     "available_specs",
     "build_simulator",
+    "compile_trace",
+    "fastpath",
     "list_specs",
     "config_by_name",
     "cray_like_machine",

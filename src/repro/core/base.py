@@ -17,6 +17,19 @@ from .config import MachineConfig
 from .result import SimulationResult
 
 
+def scalar_only_error(machine_name: str) -> ValueError:
+    """The error every scalar-only machine raises for a vector trace.
+
+    Shared between :func:`require_scalar_trace` (reference loops) and
+    the compiled fast paths (:mod:`repro.core.fastpath`), so both reject
+    vector traces with the same message.
+    """
+    return ValueError(
+        f"{machine_name} models scalar instruction issue only; "
+        "time vector code on SimpleMachine or a ScoreboardMachine"
+    )
+
+
 def require_scalar_trace(trace: Trace, machine_name: str) -> None:
     """Reject traces containing vector instructions.
 
@@ -27,10 +40,7 @@ def require_scalar_trace(trace: Trace, machine_name: str) -> None:
     """
     for entry in trace.entries:
         if entry.instruction.is_vector:
-            raise ValueError(
-                f"{machine_name} models scalar instruction issue only; "
-                "time vector code on SimpleMachine or a ScoreboardMachine"
-            )
+            raise scalar_only_error(machine_name)
 
 
 class Simulator(abc.ABC):

@@ -1,0 +1,463 @@
+"""Fast replay path: per-trace precompilation + flat-integer inner loops.
+
+The reference simulators (:mod:`repro.core.scoreboard`,
+:mod:`repro.core.inorder_multi`) spend most of their wall time in
+per-instruction Python object churn: property chains
+(``entry.instruction.unit`` walks two dataclasses and an enum),
+``Instruction.source_registers`` building fresh tuples with
+``isinstance`` filtering, ``latency()`` method calls, and scoreboard
+dictionaries keyed by frozen-dataclass :class:`~repro.isa.registers.Register`
+objects whose ``__hash__`` is recomputed on every lookup.  None of that
+work depends on the cycle being modelled -- it is the same for every
+replay of the same trace.
+
+:func:`compile_trace` therefore lowers a :class:`~repro.trace.Trace`
+once into flat parallel tuples of small integers -- functional-unit
+index, destination/source register ids, branch/vector/bus flags, vector
+length -- resolved a single time up front and cached per trace object.
+The rewritten inner loops (:func:`simulate_scoreboard_fast`,
+:func:`simulate_inorder_fast`) then run on integer ready-cycle arrays
+(one ``int`` slot per architectural register and per functional unit)
+instead of hash tables, index per-unit latency/pipelining tables built
+once per call, and keep a min-heap of outstanding completion events so
+stale result-bus reservations are pruned as the issue front passes them
+(state stays O(outstanding writes), not O(trace length)).
+
+Like the reference loops, the fast loops never scan idle cycles: both
+jump straight from one issue decision to the next, so the only scans
+left are the short result-bus conflict probes, which the heap keeps
+bounded.
+
+Bit-identity is a hard invariant, enforced three ways:
+
+* machines auto-select this path **only** when no ``on_event`` hook is
+  installed (:func:`repro.obs.events.hook_installed` is the single
+  presence test) and fall back to the reference loop otherwise;
+* ``tests/test_fastpath_diff.py`` replays hundreds of fuzzed traces
+  through both paths and compares cycle counts, issue rates and
+  per-instruction issue/completion schedules;
+* the cross-machine oracle (:mod:`repro.verify.oracle`) checks the
+  fast path against ``reference_simulate`` as an exact dual on every
+  ``repro verify`` replay, including the nightly 1000-seed shards.
+
+Setting ``REPRO_FASTPATH=0`` in the environment (or calling
+:func:`set_enabled`) disables the fast path globally; the golden-table
+tests exercise both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.functional_units import FunctionalUnit
+from ..isa.registers import RegFile
+from ..trace import Trace
+from .buses import BusKind
+from .config import MachineConfig
+from .result import SimulationResult
+
+__all__ = [
+    "CompiledTrace",
+    "compile_trace",
+    "enabled",
+    "reset_stats",
+    "set_enabled",
+    "simulate_inorder_fast",
+    "simulate_scoreboard_fast",
+    "stats",
+]
+
+# ----------------------------------------------------------------------
+# Dense id spaces: registers and functional units
+# ----------------------------------------------------------------------
+
+#: Functional units in enum order; a unit's id is its position here.
+UNITS: Tuple[FunctionalUnit, ...] = tuple(FunctionalUnit)
+_UNIT_INDEX: Dict[FunctionalUnit, int] = {u: i for i, u in enumerate(UNITS)}
+_MEMORY = _UNIT_INDEX[FunctionalUnit.MEMORY]
+_BRANCH = _UNIT_INDEX[FunctionalUnit.BRANCH]
+
+#: file -> first register id, packing every architectural register into
+#: one dense 0..N_REGISTERS-1 space (A, S, B, T, V, L in enum order).
+_FILE_OFFSETS: Dict[RegFile, int] = {}
+_offset = 0
+for _file in RegFile:
+    _FILE_OFFSETS[_file] = _offset
+    _offset += _file.size
+N_REGISTERS = _offset
+del _offset, _file
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+#: One lowered trace entry:
+#: ``(unit, dest, srcs, is_branch, taken, is_vector, vl, uses_bus)``
+#: where ``unit`` indexes :data:`UNITS`, ``dest`` is a register id or
+#: -1, ``srcs`` is a tuple of register ids (implicit vector-length reads
+#: included), and ``uses_bus`` mirrors the scoreboard's result-bus test
+#: (scalar A/B/S/T destination).
+Op = Tuple[int, int, Tuple[int, ...], bool, bool, bool, int, bool]
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A trace lowered to flat per-instruction integer tuples.
+
+    Machine- and config-independent: latencies and pipelining are
+    resolved per :class:`~repro.core.config.MachineConfig` at simulation
+    time from 12-entry per-unit tables, so one compilation serves every
+    machine variant.
+    """
+
+    name: str
+    n: int
+    ops: Tuple[Op, ...]
+    has_vector: bool
+
+
+#: Compile results keyed by ``id(trace)``; the paired weak reference
+#: both validates the key (id reuse after garbage collection) and evicts
+#: the entry when the trace dies.
+_CACHE: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
+
+_STATS = {"compiles": 0, "cache_hits": 0, "fast_runs": 0}
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def enabled() -> bool:
+    """Is fast-path auto-selection on? (``REPRO_FASTPATH=0`` disables.)"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Toggle fast-path auto-selection; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    return previous
+
+
+def stats() -> Dict[str, int]:
+    """Counters: ``compiles``, ``cache_hits``, ``fast_runs``."""
+    return dict(_STATS)
+
+
+def reset_stats() -> None:
+    """Zero the counters (tests and benchmarks use this)."""
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Lower *trace* to flat integer tuples (cached per trace object)."""
+    key = id(trace)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0]() is trace:
+        _STATS["cache_hits"] += 1
+        return hit[1]
+
+    file_offsets = _FILE_OFFSETS
+    unit_index = _UNIT_INDEX
+    ops: List[Op] = []
+    has_vector = False
+    for entry in trace.entries:
+        instr = entry.instruction
+        unit = unit_index[instr.unit]
+        dest = instr.dest
+        if dest is None:
+            dest_id = -1
+            uses_bus = False
+        else:
+            dest_id = file_offsets[dest.file] + dest.index
+            uses_bus = dest.is_address or dest.is_scalar
+        srcs = tuple(
+            file_offsets[src.file] + src.index
+            for src in instr.source_registers
+        )
+        is_vector = instr.is_vector
+        if is_vector:
+            has_vector = True
+            uses_bus = False
+            vl = entry.vector_length or 0
+        else:
+            vl = 0
+        is_branch = instr.is_branch
+        taken = bool(entry.taken) if is_branch else False
+        ops.append(
+            (unit, dest_id, srcs, is_branch, taken, is_vector, vl, uses_bus)
+        )
+
+    compiled = CompiledTrace(
+        name=trace.name, n=len(ops), ops=tuple(ops), has_vector=has_vector
+    )
+    _STATS["compiles"] += 1
+
+    def _evict(_ref: object, _key: int = key) -> None:
+        _CACHE.pop(_key, None)
+
+    _CACHE[key] = (weakref.ref(trace, _evict), compiled)
+    return compiled
+
+
+def _unit_tables(
+    config: MachineConfig, fu_pipelined: bool, memory_interleaved: bool
+) -> Tuple[List[int], List[bool]]:
+    """Per-unit latency and pipelining tables for one (machine, config)."""
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    pipelined = []
+    for index, latency in enumerate(latencies):
+        if index == _MEMORY:
+            pipelined.append(memory_interleaved)
+        elif index == _BRANCH:
+            pipelined.append(True)  # branch spacing is modelled separately
+        else:
+            pipelined.append(fu_pipelined or latency <= 1)
+    return latencies, pipelined
+
+
+#: Per-instruction (issue, complete) pairs, matching the cycles an
+#: ``on_event`` subscriber of the reference path would observe.
+Schedule = List[Tuple[int, int]]
+
+
+# ----------------------------------------------------------------------
+# Scoreboard family (Section 3.2): single issue, issue-blocking
+# ----------------------------------------------------------------------
+
+def simulate_scoreboard_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`ScoreboardMachine.reference_simulate`.
+
+    Bit-identical by construction: same recurrence, same tie-breaks,
+    state held in integer arrays instead of ``Register``/unit-keyed
+    dictionaries.  *record*, when given, receives one ``(issue,
+    complete)`` pair per instruction -- the same cycles the reference
+    path's event stream reports (differential tests compare them).
+    """
+    compiled = compile_trace(trace)
+    _STATS["fast_runs"] += 1
+    latencies, pipelined = _unit_tables(
+        config, machine.fu_pipelined, machine.memory_interleaved
+    )
+    branch_latency = config.branch_latency
+    model_bus = machine.model_result_bus
+    chaining = machine.vector_chaining
+
+    reg_ready = [0] * N_REGISTERS
+    write_done = [0] * N_REGISTERS
+    fu_free = [0] * len(UNITS)
+    # Result-bus reservations: membership set plus a completion-event
+    # min-heap.  The issue front (`next_issue`) only ever probes cycles
+    # >= next_issue + 1, so reservations at or before it are dead and
+    # are pruned as the heap root passes behind the front.
+    bus_reserved = set()
+    bus_heap: List[int] = []
+    next_issue = 0
+    last_event = 0
+    tracking = record is not None
+
+    for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus in (
+        compiled.ops
+    ):
+        latency = latencies[unit]
+
+        earliest = next_issue
+        for src in srcs:
+            ready = reg_ready[src]
+            if ready > earliest:
+                earliest = ready
+        if dest >= 0:
+            ready = write_done[dest]
+            if ready > earliest:
+                earliest = ready
+        ready = fu_free[unit]
+        if ready > earliest:
+            earliest = ready
+        if model_bus and uses_bus:
+            while bus_heap and bus_heap[0] <= next_issue:
+                bus_reserved.discard(heappop(bus_heap))
+            while earliest + latency in bus_reserved:
+                earliest += 1
+
+        issue = earliest
+        complete = issue + latency + vl
+        if model_bus and uses_bus:
+            bus_reserved.add(complete)
+            heappush(bus_heap, complete)
+
+        if is_vector:
+            fu_free[unit] = issue + vl if pipelined[unit] else complete
+        else:
+            fu_free[unit] = issue + 1 if pipelined[unit] else complete
+
+        if dest >= 0:
+            if is_vector and chaining:
+                reg_ready[dest] = issue + latency
+            else:
+                reg_ready[dest] = complete
+            write_done[dest] = complete
+
+        if is_branch:
+            next_issue = issue + branch_latency
+            complete = next_issue
+        else:
+            next_issue = issue + 1
+
+        if complete > last_event:
+            last_event = complete
+        if tracking:
+            record.append((issue, complete))
+
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=compiled.n,
+        cycles=last_event,
+    )
+
+
+# ----------------------------------------------------------------------
+# In-order multiple issue (Section 5.1)
+# ----------------------------------------------------------------------
+
+def simulate_inorder_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of the in-order multi-issue reference loop.
+
+    The reference re-examines a blocked slot after bumping the cycle
+    floor; because the machine state is untouched between the two
+    examinations, the re-scan returns the same cycle, so this loop
+    folds both passes into one ``max`` chain plus one bus probe.  The
+    buffer cut (up to N slots, ending at the first taken branch) is
+    derived from the compiled ``taken`` flags.
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from .base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    _STATS["fast_runs"] += 1
+    latencies, _ = _unit_tables(config, True, True)
+    branch_latency = config.branch_latency
+    units = machine.issue_units
+    kind = machine.bus_kind
+    n_buses = 1 if kind is BusKind.ONE_BUS else units
+    xbar = kind is BusKind.X_BAR
+
+    reg_ready = [0] * N_REGISTERS
+    fu_free = [0] * len(UNITS)
+    buses: List[set] = [set() for _ in range(n_buses)]
+    # Completion-event min-heap over reserved writeback cycles: the
+    # cycle floor never decreases, so reservations behind it can be
+    # dropped from the per-bus sets (same pruning as the scoreboard).
+    bus_heap: List[Tuple[int, int]] = []
+
+    ops = compiled.ops
+    n_entries = compiled.n
+    pos = 0
+    cycle = 0
+    last_event = 0
+    is_branch = False
+    tracking = record is not None
+
+    while pos < n_entries:
+        end = pos + units
+        if end > n_entries:
+            end = n_entries
+        index = pos
+        cut = False
+        while index < end:
+            unit, dest, srcs, is_branch, taken, _v, _vl, _bus = ops[index]
+            latency = latencies[unit]
+
+            earliest = cycle
+            for src in srcs:
+                ready = reg_ready[src]
+                if ready > earliest:
+                    earliest = ready
+            if dest >= 0:
+                ready = reg_ready[dest]
+                if ready > earliest:
+                    earliest = ready
+            ready = fu_free[unit]
+            if ready > earliest:
+                earliest = ready
+
+            if dest >= 0:
+                while bus_heap and bus_heap[0][0] <= cycle:
+                    done, bus_index = heappop(bus_heap)
+                    buses[bus_index].discard(done)
+                target = earliest + latency
+                if xbar:
+                    while True:
+                        chosen = -1
+                        for bus_index, reserved in enumerate(buses):
+                            if target not in reserved:
+                                chosen = bus_index
+                                break
+                        if chosen >= 0:
+                            break
+                        earliest += 1
+                        target += 1
+                else:
+                    chosen = (index - pos) % n_buses
+                    reserved = buses[chosen]
+                    while target in reserved:
+                        earliest += 1
+                        target += 1
+                buses[chosen].add(target)
+                heappush(bus_heap, (target, chosen))
+
+            cycle = earliest
+            complete = cycle + latency
+            fu_free[unit] = cycle + 1
+            if dest >= 0:
+                reg_ready[dest] = complete
+            if not is_branch and complete > last_event:
+                last_event = complete
+            if tracking:
+                record.append((
+                    cycle,
+                    cycle + branch_latency if is_branch else complete,
+                ))
+            index += 1
+
+            if is_branch:
+                resolve = cycle + branch_latency
+                if resolve > last_event:
+                    last_event = resolve
+                cycle = resolve
+                if taken:
+                    cut = True
+                    break
+
+        pos = index
+        if not cut and not is_branch:
+            # Full buffer issued, straight-line tail: the refill is
+            # overlapped, examinable the cycle after the last issue.
+            cycle += 1
+
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=n_entries,
+        cycles=max(last_event, 1),
+    )

@@ -17,11 +17,12 @@ the reservation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..isa import FunctionalUnit, Register
-from ..obs.events import EventKind, SimEvent
+from ..obs.events import EventCallback, EventKind, SimEvent, hook_installed
 from ..trace import Trace, TraceEntry
+from . import fastpath
 from .base import Simulator, require_scalar_trace
 from .buses import BusKind, ResultBuses
 from .config import MachineConfig
@@ -49,8 +50,34 @@ class InOrderMultiIssueMachine(Simulator):
 
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        # Same dispatch rule as the scoreboard family: the hook test is
+        # re-evaluated per call, so a subscriber attached at any point
+        # forces the event-emitting reference loop; the compiled fast
+        # path (bit-identical, event-free) runs otherwise.
+        if fastpath.enabled() and not hook_installed(self):
+            return fastpath.simulate_inorder_fast(self, trace, config)
+        return self._simulate(trace, config, self.on_event)
+
+    def reference_simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """The pre-fast-path issue loop, hook plumbing disabled.
+
+        The oracle baseline for this machine: ``repro verify`` checks
+        :meth:`simulate` against it as an exact dual (the
+        ``fastpath-dual`` check), and the benchmark suite measures the
+        fast path's speedup over it.  Keep it in lockstep with any
+        timing-model change.
+        """
+        return self._simulate(trace, config, None)
+
+    def _simulate(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        emit: Optional[EventCallback],
+    ) -> SimulationResult:
         require_scalar_trace(trace, self.name)
-        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
 

@@ -29,8 +29,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from ..isa import FunctionalUnit, Register
-from ..obs.events import EventCallback, EventKind, SimEvent, tee
+from ..obs.events import EventCallback, EventKind, SimEvent, hook_installed, tee
 from ..trace import Trace
+from . import fastpath
 from .base import Simulator
 from .config import MachineConfig
 from .result import SimulationResult
@@ -162,6 +163,14 @@ class ScoreboardMachine(Simulator):
 
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        # Hook presence is re-read on every call (never cached), so a
+        # subscriber attached after construction -- or installed
+        # temporarily via simulate_observed -- always gets the
+        # event-emitting reference loop.  The compiled fast path is
+        # bit-identical (tests/test_fastpath_diff.py, the oracle's
+        # fastpath-dual check) but emits no events.
+        if fastpath.enabled() and not hook_installed(self):
+            return fastpath.simulate_scoreboard_fast(self, trace, config)
         return self._simulate(trace, config, self.on_event)
 
     def simulate_recorded(
@@ -179,8 +188,8 @@ class ScoreboardMachine(Simulator):
         installed ``on_event`` hook keeps receiving events alongside.
         """
         if recorder is None:
-            emit = self.on_event
-        elif self.on_event is None:
+            return self.simulate(trace, config)
+        if self.on_event is None:
             emit: Optional[EventCallback] = EventRecorder(recorder)
         else:
             emit = tee(self.on_event, EventRecorder(recorder))

@@ -41,8 +41,23 @@ __all__ = [
     "EventCollector",
     "EventKind",
     "SimEvent",
+    "hook_installed",
     "tee",
 ]
+
+
+def hook_installed(simulator: object) -> bool:
+    """Does *simulator* currently have an ``on_event`` subscriber?
+
+    The single hook-presence test the machines consult when choosing
+    between the compiled fast path (:mod:`repro.core.fastpath`) and the
+    event-emitting reference loop.  It reads the attribute at call time,
+    never a cached decision, so a hook attached *after* construction --
+    or installed temporarily by
+    :meth:`~repro.core.base.Simulator.simulate_observed` mid-session --
+    always forces the reference path and receives its events.
+    """
+    return getattr(simulator, "on_event", None) is not None
 
 
 class EventKind(enum.Enum):

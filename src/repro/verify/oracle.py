@@ -16,7 +16,13 @@ is exact -- no floating-point tolerance needed):
 * **exact duals** -- the CRAY-like scoreboard and the multi-issue
   machines at one issue station are numerically identical (they model
   the same hardware), as are in-order and out-of-order issue at a
-  buffer of one.
+  buffer of one;
+* **fastpath duals** -- any machine exposing a ``reference_simulate``
+  method (the scoreboard family and the in-order multi-issue machine,
+  whose default :meth:`simulate` dispatches to the compiled fast path
+  in :mod:`repro.core.fastpath`) must report the same cycle count from
+  both paths; the nightly fuzz shards replay this check over thousands
+  of seeds.
 
 The edge list was calibrated empirically over ~12,000 fuzzed traces
 (all four memory/branch variants, trace shapes from length-1 to
@@ -190,6 +196,25 @@ def run_oracle(
             sim = build_simulator(spec)
         result = sim.simulate(trace, config)
         report.cycles[spec] = result.cycles
+
+        reference = getattr(sim, "reference_simulate", None)
+        if reference is not None:
+            ref_cycles = reference(trace, config).cycles
+            if result.cycles != ref_cycles:
+                report.violations.append(
+                    OracleViolation(
+                        check="fastpath-dual",
+                        machine=spec,
+                        config=config.name,
+                        trace_name=trace.name,
+                        message=(
+                            f"simulate() reported {result.cycles} cycles but "
+                            f"reference_simulate() reported {ref_cycles}; the "
+                            "compiled fast path must be bit-identical to the "
+                            "reference loop"
+                        ),
+                    )
+                )
 
         if spec.split(":", 1)[0] in _BOUND_EXEMPT_HEADS:
             continue

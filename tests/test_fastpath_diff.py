@@ -1,0 +1,194 @@
+"""Differential tests: the compiled fast path is bit-identical.
+
+Every fast-path machine replays hundreds of fuzzed traces through both
+:meth:`simulate` (fast) and :meth:`reference_simulate` (the event-capable
+reference loop); cycle counts, issue rates *and the per-instruction
+issue/completion schedule* must match exactly.  The hook-dispatch tests
+pin the selection rule: no ``on_event`` hook -> fast path; a hook
+attached at any time -- including after construction or temporarily via
+``simulate_observed`` -- forces the reference loop and receives its
+events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import M5BR2, M5BR5, M11BR2, M11BR5, fastpath
+from repro.core.registry import build_simulator
+from repro.core.scoreboard import ScoreboardMachine, cray_like_machine
+from repro.core.inorder_multi import InOrderMultiIssueMachine
+from repro.obs.events import EventCollector, EventKind
+from repro.verify.fuzz import FuzzSpec, fuzz_trace
+
+#: Every registry spec whose simulate() dispatches to the fast path.
+FAST_PATH_SPECS = (
+    "cray",
+    "serialmemory",
+    "nonsegmented",
+    "inorder:1",
+    "inorder:2",
+    "inorder:4",
+    "inorder:4:1bus",
+    "inorder:4:xbar",
+)
+
+CONFIGS = (M11BR5, M11BR2, M5BR5, M5BR2)
+
+N_SEEDS = 300
+
+#: One shared trace pool: generated once, replayed by every machine
+#: (which also exercises the per-trace compile cache across machines).
+_SHAPE = FuzzSpec()
+TRACES = tuple(fuzz_trace(seed, _SHAPE) for seed in range(N_SEEDS))
+
+
+@pytest.fixture(autouse=True)
+def _fastpath_on():
+    """Pin fast-path auto-selection on (REPRO_FASTPATH=0 environments)."""
+    previous = fastpath.set_enabled(True)
+    yield
+    fastpath.set_enabled(previous)
+
+
+def _fast_fn(simulator):
+    if isinstance(simulator, ScoreboardMachine):
+        return fastpath.simulate_scoreboard_fast
+    assert isinstance(simulator, InOrderMultiIssueMachine)
+    return fastpath.simulate_inorder_fast
+
+
+# ----------------------------------------------------------------------
+# The differential sweep
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", FAST_PATH_SPECS)
+def test_fast_path_matches_reference(spec):
+    """300 fuzzed traces: cycles, rates and schedules all identical."""
+    simulator = build_simulator(spec)
+    fast_fn = _fast_fn(simulator)
+    for seed, trace in enumerate(TRACES):
+        config = CONFIGS[seed % len(CONFIGS)]
+
+        fast = simulator.simulate(trace, config)
+        reference = simulator.reference_simulate(trace, config)
+        assert fast.cycles == reference.cycles, (spec, trace.name)
+        assert fast.issue_rate == reference.issue_rate, (spec, trace.name)
+        assert fast.instructions == reference.instructions
+
+        # Per-instruction (issue, complete) pairs from the fast loop's
+        # record hook vs the reference path's event stream.
+        schedule = []
+        recorded = fast_fn(simulator, trace, config, schedule)
+        assert recorded.cycles == fast.cycles
+        collector = EventCollector()
+        simulator.simulate_observed(trace, config, collector)
+        issues = collector.cycles_by_seq(EventKind.ISSUE)
+        completes = collector.cycles_by_seq(EventKind.COMPLETE)
+        expected = [
+            (issues[entry.seq], completes[entry.seq])
+            for entry in trace.entries
+        ]
+        assert schedule == expected, (spec, trace.name)
+
+
+def test_fast_path_runs_by_default():
+    """Without a hook, simulate() really is the fast path (not a no-op
+    dispatch that silently falls back)."""
+    simulator = cray_like_machine()
+    fastpath.reset_stats()
+    simulator.simulate(TRACES[0], M11BR5)
+    stats = fastpath.stats()
+    assert stats["fast_runs"] == 1
+    assert stats["compiles"] + stats["cache_hits"] >= 1
+
+
+def test_set_enabled_false_forces_reference():
+    simulator = cray_like_machine()
+    previous = fastpath.set_enabled(False)
+    try:
+        fastpath.reset_stats()
+        disabled = simulator.simulate(TRACES[1], M11BR5)
+        assert fastpath.stats()["fast_runs"] == 0
+    finally:
+        fastpath.set_enabled(previous)
+    assert disabled.cycles == simulator.simulate(TRACES[1], M11BR5).cycles
+
+
+def test_compile_cache_hits_on_same_trace_object():
+    fastpath.reset_stats()
+    first = fastpath.compile_trace(TRACES[2])
+    again = fastpath.compile_trace(TRACES[2])
+    assert again is first
+    stats = fastpath.stats()
+    assert stats["cache_hits"] >= 1
+
+
+def test_vector_trace_rejected_with_reference_message():
+    """Both paths reject vector traces with the identical error."""
+    from repro.kernels.vectorized import build_vectorized
+
+    trace = build_vectorized(12, 64).trace()
+    machine = InOrderMultiIssueMachine(2)
+    with pytest.raises(ValueError) as fast_error:
+        machine.simulate(trace, M11BR5)
+    with pytest.raises(ValueError) as reference_error:
+        machine.reference_simulate(trace, M11BR5)
+    assert str(fast_error.value) == str(reference_error.value)
+
+
+# ----------------------------------------------------------------------
+# Hook-presence dispatch
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "make_machine",
+    [cray_like_machine, lambda: InOrderMultiIssueMachine(4)],
+    ids=["scoreboard", "inorder"],
+)
+def test_hook_attached_after_construction_forces_reference(make_machine):
+    """The regression the dispatch rule exists for: a collector attached
+    *after* the machine has already run fast must still receive events.
+    """
+    machine = make_machine()
+    trace, config = TRACES[3], M11BR5
+    fast = machine.simulate(trace, config)  # warm: fast path, no hook
+
+    machine.on_event = collector = EventCollector()
+    fastpath.reset_stats()
+    hooked = machine.simulate(trace, config)
+    assert fastpath.stats()["fast_runs"] == 0
+    assert collector.events, "attached hook received no events"
+    assert collector.cycles_by_seq(EventKind.ISSUE), "no ISSUE events"
+    assert hooked.cycles == fast.cycles
+
+    machine.on_event = None
+    fastpath.reset_stats()
+    machine.simulate(trace, config)
+    assert fastpath.stats()["fast_runs"] == 1
+
+
+@pytest.mark.parametrize(
+    "make_machine",
+    [cray_like_machine, lambda: InOrderMultiIssueMachine(2)],
+    ids=["scoreboard", "inorder"],
+)
+def test_simulate_observed_forces_reference(make_machine):
+    """simulate_observed installs the hook mid-call; it must never run
+    the event-free fast path."""
+    machine = make_machine()
+    trace, config = TRACES[4], M11BR5
+    baseline = machine.simulate(trace, config)
+
+    collector = EventCollector()
+    fastpath.reset_stats()
+    observed = machine.simulate_observed(trace, config, collector)
+    assert fastpath.stats()["fast_runs"] == 0
+    assert collector.events
+    assert observed.cycles == baseline.cycles
+    assert machine.on_event is None  # restored afterwards
+
+    # And with the hook gone again, the next call is fast once more.
+    fastpath.reset_stats()
+    machine.simulate(trace, config)
+    assert fastpath.stats()["fast_runs"] == 1

@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 import repro.api as api
+from repro.core import fastpath
 from repro.kernels import SMALL_SIZES
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_tables.json"
@@ -68,6 +69,25 @@ def test_table_matches_seed_run(table_id):
 @pytest.mark.parametrize("table_id", _SLOW_TABLES)
 def test_slow_table_matches_seed_run(table_id):
     _assert_matches_golden(table_id)
+
+
+def test_table_matches_seed_run_with_fastpath_disabled():
+    """Forcing the reference loops must reproduce the same golden cells:
+    the fast path and reference path agree at the harmonic-mean level
+    too, not just per trace."""
+    previous = fastpath.set_enabled(False)
+    try:
+        _assert_matches_golden("table1")
+    finally:
+        fastpath.set_enabled(previous)
+
+
+def test_table_run_took_the_fast_path():
+    """The golden runs above actually exercise the fast path (workers=1
+    keeps the engine in-process, so the counters are visible)."""
+    fastpath.reset_stats()
+    _assert_matches_golden("table1")
+    assert fastpath.stats()["fast_runs"] > 0
 
 
 def test_golden_scalar_and_vectorizable_splits_present():

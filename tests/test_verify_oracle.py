@@ -8,6 +8,8 @@ reproducer of at most 20 instructions.
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
+
 import pytest
 
 from repro.core import M11BR5, M5BR2, MachineConfig
@@ -49,6 +51,40 @@ class TestCleanOracle:
         )
         assert report.ok
         assert set(report.cycles) == {"simple", "cray"}
+
+
+class DivergentFastPathMachine:
+    """simulate() disagrees with reference_simulate() by one cycle --
+    exactly the failure mode the fastpath-dual check exists to catch."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def name(self):
+        return self._inner.name
+
+    def simulate(self, trace, config):
+        result = self._inner.simulate(trace, config)
+        return dc_replace(result, cycles=result.cycles + 1)
+
+    def reference_simulate(self, trace, config):
+        return self._inner.simulate(trace, config)
+
+
+class TestFastpathDualCheck:
+    def test_divergent_fast_path_caught(self):
+        broken = DivergentFastPathMachine(build_simulator("cray"))
+        trace = fuzz_trace(0)
+        report = run_oracle(trace, M11BR5, simulators={"cray": broken})
+        checks = {v.check for v in report.violations}
+        assert "fastpath-dual" in checks, [str(v) for v in report.violations]
+
+    def test_clean_machines_report_no_dual_violations(self):
+        report = run_oracle(fuzz_trace(2), M11BR5)
+        assert not any(
+            v.check == "fastpath-dual" for v in report.violations
+        )
 
 
 class TestBrokenMachineCaught:
