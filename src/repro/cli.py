@@ -378,6 +378,12 @@ def _render_run_detail(manifest, *, top: int = 10) -> str:
         f"  result cache: {hits:.0f} hit / {misses:.0f} miss "
         f"(hit rate {rate}; {corrupt:.0f} corrupt rebuilt)"
     )
+    lines.append(
+        f"  compiled fast path: {manifest.counter('fastpath.fast_runs'):.0f} "
+        f"fast runs, {manifest.counter('fastpath.compiles'):.0f} compiles "
+        f"({manifest.counter('fastpath.cache_hits'):.0f} trace-cache hits, "
+        f"{manifest.counter('fastpath.evictions'):.0f} evictions)"
+    )
     utilization = manifest.worker_utilization
     if utilization:
         shares = ", ".join(

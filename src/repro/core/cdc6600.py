@@ -25,7 +25,9 @@ from __future__ import annotations
 from typing import Dict
 
 from ..isa import FunctionalUnit, Register
+from ..obs.events import EventKind, SimEvent, hook_installed
 from ..trace import Trace
+from . import fastpath
 from .base import Simulator, require_scalar_trace
 from .config import MachineConfig
 from .result import SimulationResult
@@ -50,6 +52,99 @@ class CDC6600Machine(Simulator):
         return f"CDC6600-style{suffix}"
 
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        # hook_installed is re-read per call so a hook attached after
+        # construction always gets the event-emitting loop.
+        if fastpath.enabled() and not hook_installed(self):
+            return fastpath.simulate_cdc6600_fast(self, trace, config)
+        return self._simulate(trace, config, self.on_event)
+
+    def _simulate(
+        self, trace: Trace, config: MachineConfig, emit
+    ) -> SimulationResult:
+        """The reference recurrence plus optional event emission.
+
+        Emits ISSUE at the issue cycle and COMPLETE at the completion
+        cycle (branches: resolution at ``issue + branch_latency``), so
+        the invariant checker can ride the event stream.
+        """
+        require_scalar_trace(trace, self.name)
+        latencies = config.latencies
+        branch_latency = config.branch_latency
+
+        reg_ready: Dict[Register, int] = {}
+        fu_free: Dict[FunctionalUnit, int] = {}
+        next_issue = 0
+        last_event = 0
+
+        for entry in trace:
+            instr = entry.instruction
+            unit = instr.unit
+            latency = instr.latency(latencies)
+
+            # Issue conditions: in-order slot, unit free, no WAW.
+            earliest = next_issue
+            unit_free = fu_free.get(unit, 0)
+            if unit_free > earliest:
+                earliest = unit_free
+            if instr.dest is not None:
+                waw = reg_ready.get(instr.dest, 0)
+                if waw > earliest:
+                    earliest = waw
+            if instr.is_branch:
+                # The branch must read A0 before it can resolve; the 6600
+                # has no branch prediction either.
+                for src in instr.source_registers:
+                    ready = reg_ready.get(src, 0)
+                    if ready > earliest:
+                        earliest = ready
+
+            issue = earliest
+
+            # Execution begins once the operands arrive at the unit.
+            start = issue
+            for src in instr.source_registers:
+                ready = reg_ready.get(src, 0)
+                if ready > start:
+                    start = ready
+            complete = start + latency
+
+            if instr.is_branch:
+                next_issue = issue + branch_latency
+                complete = issue + branch_latency
+                fu_free[unit] = issue + 1
+            else:
+                next_issue = issue + 1
+                if unit is FunctionalUnit.MEMORY:
+                    fu_free[unit] = start + 1
+                else:
+                    fu_free[unit] = (
+                        complete if self.fu_holds_until_complete else start + 1
+                    )
+                if instr.dest is not None:
+                    reg_ready[instr.dest] = complete
+
+            if complete > last_event:
+                last_event = complete
+            if emit is not None:
+                emit(SimEvent(EventKind.ISSUE, entry.seq, issue))
+                emit(SimEvent(EventKind.COMPLETE, entry.seq, complete))
+
+        return SimulationResult(
+            trace_name=trace.name,
+            simulator=self.name,
+            config=config,
+            instructions=len(trace),
+            cycles=max(last_event, 1),
+        )
+
+    def reference_simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """The seed issue recurrence, kept verbatim as the oracle twin.
+
+        The differential tests and the cross-machine oracle use this as
+        the baseline the compiled fast loop must match bit-for-bit.
+        """
         require_scalar_trace(trace, self.name)
         latencies = config.latencies
         branch_latency = config.branch_latency

@@ -66,8 +66,12 @@ __all__ = [
     "enabled",
     "reset_stats",
     "set_enabled",
+    "simulate_cdc6600_fast",
     "simulate_inorder_fast",
+    "simulate_ooo_fast",
+    "simulate_ruu_fast",
     "simulate_scoreboard_fast",
+    "simulate_tomasulo_fast",
     "stats",
 ]
 
@@ -91,18 +95,28 @@ for _file in RegFile:
 N_REGISTERS = _offset
 del _offset, _file
 
+#: Dense id of A0, the register conditional branches test.
+_A0 = _FILE_OFFSETS[RegFile.A]
+
+#: Sentinel for "availability not yet known" (matches the RUU/Tomasulo
+#: reference loops) and livelock guard, shared by the windowed fast loops.
+_UNKNOWN = -1
+_MAX_CYCLES = 10_000_000
+
 
 # ----------------------------------------------------------------------
 # Compilation
 # ----------------------------------------------------------------------
 
 #: One lowered trace entry:
-#: ``(unit, dest, srcs, is_branch, taken, is_vector, vl, uses_bus)``
+#: ``(unit, dest, srcs, is_branch, taken, is_vector, vl, uses_bus, is_cond)``
 #: where ``unit`` indexes :data:`UNITS`, ``dest`` is a register id or
 #: -1, ``srcs`` is a tuple of register ids (implicit vector-length reads
-#: included), and ``uses_bus`` mirrors the scoreboard's result-bus test
-#: (scalar A/B/S/T destination).
-Op = Tuple[int, int, Tuple[int, ...], bool, bool, bool, int, bool]
+#: included), ``uses_bus`` mirrors the scoreboard's result-bus test
+#: (scalar A/B/S/T destination), and ``is_cond`` marks conditional
+#: branches (which wait on an A0 instance in the RUU/Tomasulo machines;
+#: unconditional branches resolve without reading a register).
+Op = Tuple[int, int, Tuple[int, ...], bool, bool, bool, int, bool, bool]
 
 
 @dataclass(frozen=True)
@@ -126,7 +140,13 @@ class CompiledTrace:
 #: the entry when the trace dies.
 _CACHE: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
 
-_STATS = {"compiles": 0, "cache_hits": 0, "fast_runs": 0}
+_STATS = {
+    "compiles": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "evictions": 0,
+    "fast_runs": 0,
+}
 
 _ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
 
@@ -145,7 +165,15 @@ def set_enabled(value: bool) -> bool:
 
 
 def stats() -> Dict[str, int]:
-    """Counters: ``compiles``, ``cache_hits``, ``fast_runs``."""
+    """Compile-cache and dispatch counters.
+
+    ``compiles`` / ``cache_hits`` / ``cache_misses`` / ``evictions``
+    describe the per-trace compile cache (every miss compiles, so
+    ``cache_misses == compiles`` unless the counters were reset between
+    the two events; ``evictions`` counts entries dropped by the weak
+    reference when their trace was garbage-collected), and ``fast_runs``
+    counts fast-loop invocations.
+    """
     return dict(_STATS)
 
 
@@ -162,6 +190,7 @@ def compile_trace(trace: Trace) -> CompiledTrace:
     if hit is not None and hit[0]() is trace:
         _STATS["cache_hits"] += 1
         return hit[1]
+    _STATS["cache_misses"] += 1
 
     file_offsets = _FILE_OFFSETS
     unit_index = _UNIT_INDEX
@@ -190,8 +219,10 @@ def compile_trace(trace: Trace) -> CompiledTrace:
             vl = 0
         is_branch = instr.is_branch
         taken = bool(entry.taken) if is_branch else False
+        is_cond = instr.is_conditional_branch if is_branch else False
         ops.append(
-            (unit, dest_id, srcs, is_branch, taken, is_vector, vl, uses_bus)
+            (unit, dest_id, srcs, is_branch, taken, is_vector, vl, uses_bus,
+             is_cond)
         )
 
     compiled = CompiledTrace(
@@ -200,7 +231,8 @@ def compile_trace(trace: Trace) -> CompiledTrace:
     _STATS["compiles"] += 1
 
     def _evict(_ref: object, _key: int = key) -> None:
-        _CACHE.pop(_key, None)
+        if _CACHE.pop(_key, None) is not None:
+            _STATS["evictions"] += 1
 
     _CACHE[key] = (weakref.ref(trace, _evict), compiled)
     return compiled
@@ -268,7 +300,7 @@ def simulate_scoreboard_fast(
     last_event = 0
     tracking = record is not None
 
-    for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus in (
+    for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus, _c in (
         compiled.ops
     ):
         latency = latencies[unit]
@@ -384,7 +416,7 @@ def simulate_inorder_fast(
         index = pos
         cut = False
         while index < end:
-            unit, dest, srcs, is_branch, taken, _v, _vl, _bus = ops[index]
+            unit, dest, srcs, is_branch, taken, _v, _vl, _bus, _c = ops[index]
             latency = latencies[unit]
 
             earliest = cycle
@@ -454,6 +486,851 @@ def simulate_inorder_fast(
             # overlapped, examinable the cycle after the last issue.
             cycle += 1
 
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=n_entries,
+        cycles=max(last_event, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# CDC 6600-style scoreboard (Section 3.3): RAW waits at the units
+# ----------------------------------------------------------------------
+
+def simulate_cdc6600_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`CDC6600Machine.reference_simulate`.
+
+    Single in-order issue with one ready cycle per register and per
+    functional unit; the loop is a direct integer transcription of the
+    reference recurrence (same max chains, same tie-breaks).
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from .base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    _STATS["fast_runs"] += 1
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    branch_latency = config.branch_latency
+    holds = machine.fu_holds_until_complete
+
+    reg_ready = [0] * N_REGISTERS
+    fu_free = [0] * len(UNITS)
+    next_issue = 0
+    last_event = 0
+    tracking = record is not None
+
+    for unit, dest, srcs, is_branch, _t, _v, _vl, _bus, _c in compiled.ops:
+        latency = latencies[unit]
+
+        # Issue conditions: in-order slot, unit free, no WAW; a branch
+        # additionally reads its sources before it can resolve.
+        earliest = next_issue
+        ready = fu_free[unit]
+        if ready > earliest:
+            earliest = ready
+        if dest >= 0:
+            waw = reg_ready[dest]
+            if waw > earliest:
+                earliest = waw
+        if is_branch:
+            for src in srcs:
+                ready = reg_ready[src]
+                if ready > earliest:
+                    earliest = ready
+
+        issue = earliest
+
+        # Execution begins once the operands arrive at the unit.
+        start = issue
+        for src in srcs:
+            ready = reg_ready[src]
+            if ready > start:
+                start = ready
+        complete = start + latency
+
+        if is_branch:
+            next_issue = issue + branch_latency
+            complete = next_issue
+            fu_free[unit] = issue + 1
+        else:
+            next_issue = issue + 1
+            if unit == _MEMORY:
+                fu_free[unit] = start + 1
+            else:
+                fu_free[unit] = complete if holds else start + 1
+            if dest >= 0:
+                reg_ready[dest] = complete
+
+        if complete > last_event:
+            last_event = complete
+        if tracking:
+            record.append((issue, complete))
+
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=compiled.n,
+        cycles=max(last_event, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tomasulo-style reservation stations (Section 3.3)
+# ----------------------------------------------------------------------
+
+def simulate_tomasulo_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`TomasuloMachine.reference_simulate`.
+
+    Stations live in flat per-seq arrays, operand tags are packed
+    integers (``instance * N_REGISTERS + register``), and the per-cycle
+    outer loop jumps straight to the next cycle anything can happen:
+    the wakeup heap's root, the station release that unblocks issue, a
+    known branch-operand availability, or branch resolution.  Inside an
+    active cycle the start/issue order matches the reference exactly.
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from .base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    _STATS["fast_runs"] += 1
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    branch_latency = config.branch_latency
+    capacity = machine.stations_per_unit
+    cdb_width = machine.cdb_width
+
+    ops = compiled.ops
+    n_entries = compiled.n
+    n_regs = N_REGISTERS
+    n_units = len(UNITS)
+
+    latest_instance = [0] * n_regs
+    tag_avail: Dict[int, int] = {}
+    waiting_on: Dict[int, List[int]] = {}
+
+    st_unit = [0] * n_entries
+    st_latency = [0] * n_entries
+    st_dest = [-1] * n_entries
+    st_pending = [0] * n_entries
+    st_ready = [0] * n_entries
+
+    busy_count = [0] * n_units
+    release_heaps: List[List[int]] = [[] for _ in range(n_units)]
+    fu_next = [0] * n_units
+    ready_heap: List[Tuple[int, int]] = []
+    cdb_used: Dict[int, int] = {}
+
+    pos = 0
+    issue_resume = 0
+    cycle = 0
+    in_flight = 0
+    last_event = 0
+    tracking = record is not None
+    if tracking:
+        issue_at = [0] * n_entries
+        complete_at = [0] * n_entries
+
+    while pos < n_entries or in_flight > 0:
+        # ---- start ready operations on their (pipelined) units -------
+        eligible: List[Tuple[int, int]] = []
+        while ready_heap and ready_heap[0][0] <= cycle:
+            eligible.append(heappop(ready_heap))
+        if len(eligible) > 1:
+            eligible.sort(key=lambda item: item[1])  # oldest first
+        for ready_cycle, seq in eligible:
+            unit = st_unit[seq]
+            unit_free = fu_next[unit]
+            if unit_free > cycle:
+                heappush(
+                    ready_heap,
+                    (ready_cycle if ready_cycle > unit_free else unit_free,
+                     seq),
+                )
+                continue
+            fu_next[unit] = cycle + 1
+            finish = cycle + st_latency[seq]
+            dest_tag = st_dest[seq]
+            if dest_tag >= 0:
+                broadcast = finish
+                while cdb_used.get(broadcast, 0) >= cdb_width:
+                    broadcast += 1
+                cdb_used[broadcast] = cdb_used.get(broadcast, 0) + 1
+                tag_avail[dest_tag] = broadcast
+                for dep in waiting_on.pop(dest_tag, ()):
+                    pending = st_pending[dep] - 1
+                    st_pending[dep] = pending
+                    if broadcast > st_ready[dep]:
+                        st_ready[dep] = broadcast
+                    if pending == 0:
+                        heappush(ready_heap, (st_ready[dep], dep))
+                release = broadcast
+            else:
+                release = finish  # stores need no CDB slot
+            heappush(release_heaps[unit], release)
+            in_flight -= 1
+            if release > last_event:
+                last_event = release
+            if tracking:
+                complete_at[seq] = release
+
+        # ---- issue: one instruction per cycle ------------------------
+        if pos < n_entries and cycle >= issue_resume:
+            op = ops[pos]
+            if op[3]:  # branch
+                a0_ready = 0
+                if op[8]:  # conditional: reads the tested register
+                    src = op[2][0]
+                    tag = latest_instance[src] * n_regs + src
+                    a0_ready = (
+                        0 if tag < n_regs else tag_avail.get(tag, _UNKNOWN)
+                    )
+                if a0_ready != _UNKNOWN and a0_ready <= cycle:
+                    resolve = cycle + branch_latency
+                    issue_resume = resolve
+                    if resolve > last_event:
+                        last_event = resolve
+                    if tracking:
+                        issue_at[pos] = cycle
+                        complete_at[pos] = resolve
+                    pos += 1
+            else:
+                unit = op[0]
+                heap_u = release_heaps[unit]
+                count = busy_count[unit]
+                while heap_u and heap_u[0] <= cycle:
+                    heappop(heap_u)
+                    count -= 1
+                busy_count[unit] = count
+                if count < capacity:
+                    dest = op[1]
+                    srcs = op[2]
+                    src_tags = [
+                        latest_instance[src] * n_regs + src for src in srcs
+                    ]
+                    if dest >= 0:
+                        instance = latest_instance[dest] + 1
+                        latest_instance[dest] = instance
+                        st_dest[pos] = instance * n_regs + dest
+                    pending = 0
+                    ready = cycle + 1  # earliest start: next cycle
+                    for tag in src_tags:
+                        avail = (
+                            0 if tag < n_regs
+                            else tag_avail.get(tag, _UNKNOWN)
+                        )
+                        if avail == _UNKNOWN:
+                            pending += 1
+                            waiting_on.setdefault(tag, []).append(pos)
+                        elif avail > ready:
+                            ready = avail
+                    st_unit[pos] = unit
+                    st_latency[pos] = latencies[unit]
+                    st_pending[pos] = pending
+                    st_ready[pos] = ready
+                    busy_count[unit] = count + 1
+                    in_flight += 1
+                    if tracking:
+                        issue_at[pos] = cycle
+                    if pending == 0:
+                        heappush(ready_heap, (ready, pos))
+                    pos += 1
+
+        # ---- advance: next cycle anything can happen ------------------
+        nxt = -1
+        if ready_heap:
+            c = ready_heap[0][0]
+            if c <= cycle:
+                c = cycle + 1
+            nxt = c
+        if pos < n_entries:
+            cand = issue_resume if issue_resume > cycle + 1 else cycle + 1
+            op = ops[pos]
+            if op[3]:
+                if op[8]:
+                    src = op[2][0]
+                    tag = latest_instance[src] * n_regs + src
+                    avail = (
+                        0 if tag < n_regs else tag_avail.get(tag, _UNKNOWN)
+                    )
+                    if avail == _UNKNOWN:
+                        cand = -1  # producer must dispatch first
+                    elif avail > cand:
+                        cand = avail
+            else:
+                unit = op[0]
+                heap_u = release_heaps[unit]
+                count = busy_count[unit]
+                while heap_u and heap_u[0] <= cycle:
+                    heappop(heap_u)
+                    count -= 1
+                busy_count[unit] = count
+                if count >= capacity and heap_u and heap_u[0] > cand:
+                    cand = heap_u[0]
+            if cand >= 0 and (nxt < 0 or cand < nxt):
+                nxt = cand
+        cycle = nxt if nxt > cycle else cycle + 1
+        if cycle > _MAX_CYCLES:  # pragma: no cover - bug trap
+            raise RuntimeError("Tomasulo simulation failed to progress")
+
+    if tracking:
+        record.extend(zip(issue_at, complete_at))
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=n_entries,
+        cycles=max(last_event, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# RUU dependency resolution (Section 5.3)
+# ----------------------------------------------------------------------
+
+def simulate_ruu_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`RUUMachine.reference_simulate`.
+
+    RUU entries live in flat per-seq arrays with packed integer operand
+    tags; the commit / dispatch / issue phase order inside a cycle is the
+    reference's, and the outer loop jumps over idle cycles (crediting
+    occupancy and stall statistics for the skipped span in closed form,
+    so the ``detail`` dict stays bit-identical).  The next interesting
+    cycle is the minimum of: the head entry's result return (commit),
+    the wakeup heap's root (dispatch), branch resolution, and a known
+    branch-operand availability (issue).
+
+    Speculative runs (``predictor_factory``) keep the reference loop --
+    prediction state and accuracy stats are not modelled here; the
+    machine's dispatch gate never routes them this way.
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from .base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    _STATS["fast_runs"] += 1
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    branch_latency = config.branch_latency
+    width = machine.path_width
+    issue_units = machine.issue_units
+    ruu_size = machine.ruu_size
+    bypass = machine.bypass
+    ordered_memory = machine.ordered_memory
+    fu_copies = machine.fu_copies
+
+    ops = compiled.ops
+    n_entries = compiled.n
+    n_regs = N_REGISTERS
+    n_units = len(UNITS)
+
+    latest_instance = [0] * n_regs
+    tag_avail: Dict[int, int] = {}
+    waiting_on: Dict[int, List[int]] = {}
+
+    ent_unit = [0] * n_entries
+    ent_latency = [0] * n_entries
+    ent_dest = [-1] * n_entries
+    ent_pending = [0] * n_entries
+    ent_ready = [0] * n_entries
+    ent_result = [_UNKNOWN] * n_entries
+    ent_mem = [False] * n_entries
+
+    ring: List[int] = []  # program-ordered live entries (seqs)
+    head = 0
+    live = 0
+    ready_heap: List[Tuple[int, int]] = []
+    ret_used: Dict[int, int] = {}  # FU->RUU return-path uses per cycle
+    fu_cycle = [_UNKNOWN] * n_units
+    fu_used = [0] * n_units
+
+    if ordered_memory:
+        memory_seqs = [
+            seq for seq, op in enumerate(ops) if op[0] == _MEMORY
+        ]
+        memory_index = 0
+
+    occupancy_sum = 0
+    full_stall_cycles = 0
+    branch_stall_cycles = 0
+
+    pos = 0
+    issue_resume = 0
+    cycle = 0
+    last_commit = 0
+    tracking = record is not None
+    if tracking:
+        issue_at = [0] * n_entries
+        complete_at = [0] * n_entries
+
+    while True:
+        if cycle > _MAX_CYCLES:  # pragma: no cover - bug trap
+            raise RuntimeError("RUU simulation failed to make progress")
+
+        # ---- commit: retire in order from the head -------------------
+        commits = 0
+        while live > 0 and commits < width:
+            seq = ring[head]
+            result = ent_result[seq]
+            if result == _UNKNOWN or result > cycle:
+                break
+            head += 1
+            live -= 1
+            commits += 1
+            if cycle > last_commit:
+                last_commit = cycle
+            if tracking:
+                complete_at[seq] = cycle
+        if head > 4096 and head * 2 > len(ring):
+            del ring[:head]
+            head = 0
+
+        # ---- dispatch: oldest ready entries, up to the path width ----
+        eligible: List[Tuple[int, int]] = []
+        while ready_heap and ready_heap[0][0] <= cycle:
+            eligible.append(heappop(ready_heap))
+        if len(eligible) > 1:
+            eligible.sort(key=lambda item: item[1])  # oldest first
+        dispatches = 0
+        for ready_cycle, seq in eligible:
+            unit = ent_unit[seq]
+            blocked = dispatches >= width
+            if not blocked and fu_cycle[unit] == cycle:
+                blocked = fu_used[unit] >= fu_copies
+            if not blocked and ordered_memory and ent_mem[seq]:
+                blocked = seq != memory_seqs[memory_index]
+            if blocked:
+                heappush(ready_heap, (cycle + 1, seq))
+                continue
+            dispatches += 1
+            if fu_cycle[unit] == cycle:
+                fu_used[unit] += 1
+            else:
+                fu_cycle[unit] = cycle
+                fu_used[unit] = 1
+            if ordered_memory and ent_mem[seq]:
+                memory_index += 1
+            back = cycle + ent_latency[seq]
+            while ret_used.get(back, 0) >= width:
+                back += 1
+            ret_used[back] = ret_used.get(back, 0) + 1
+            ent_result[seq] = back
+            dest_tag = ent_dest[seq]
+            if dest_tag >= 0:
+                avail = back if bypass else back + 1
+                tag_avail[dest_tag] = avail
+                for dep in waiting_on.pop(dest_tag, ()):
+                    pending = ent_pending[dep] - 1
+                    ent_pending[dep] = pending
+                    if avail > ent_ready[dep]:
+                        ent_ready[dep] = avail
+                    if pending == 0:
+                        heappush(ready_heap, (ent_ready[dep], dep))
+
+        # ---- issue: up to N instructions, in program order -----------
+        issued = 0
+        while (
+            pos < n_entries
+            and issued < issue_units
+            and cycle >= issue_resume
+            and live < ruu_size
+        ):
+            op = ops[pos]
+            if op[3]:  # branch
+                if op[8]:
+                    a0_tag = latest_instance[_A0] * n_regs + _A0
+                    a0_ready = (
+                        0 if a0_tag < n_regs
+                        else tag_avail.get(a0_tag, _UNKNOWN)
+                    )
+                else:
+                    a0_ready = 0
+                if a0_ready == _UNKNOWN or a0_ready > cycle:
+                    break  # branch waits at the issue stage
+                issue_resume = cycle + branch_latency
+                if issue_resume > last_commit:
+                    # Branches never commit; their resolution still
+                    # bounds the machine's finish time.
+                    last_commit = issue_resume
+                if tracking:
+                    issue_at[pos] = cycle
+                    complete_at[pos] = issue_resume
+                pos += 1
+                issued += 1
+                break  # nothing issues behind an unresolved branch
+
+            unit, dest, srcs = op[0], op[1], op[2]
+            pending = 0
+            ready = cycle
+            for src in srcs:
+                tag = latest_instance[src] * n_regs + src
+                avail = 0 if tag < n_regs else tag_avail.get(tag, _UNKNOWN)
+                if avail == _UNKNOWN:
+                    pending += 1
+                    waiting_on.setdefault(tag, []).append(pos)
+                elif avail > ready:
+                    ready = avail
+            if dest >= 0:
+                instance = latest_instance[dest] + 1
+                latest_instance[dest] = instance
+                ent_dest[pos] = instance * n_regs + dest
+            ent_unit[pos] = unit
+            ent_latency[pos] = latencies[unit]
+            ent_pending[pos] = pending
+            ent_ready[pos] = ready
+            ent_mem[pos] = unit == _MEMORY
+            ring.append(pos)
+            live += 1
+            if tracking:
+                issue_at[pos] = cycle
+            if pending == 0:
+                heappush(ready_heap, (ready, pos))
+            pos += 1
+            issued += 1
+
+        occupancy_sum += live
+        if pos < n_entries and issued == 0:
+            if cycle < issue_resume:
+                branch_stall_cycles += 1
+            elif live >= ruu_size:
+                full_stall_cycles += 1
+
+        if pos >= n_entries and live == 0:
+            cycle += 1
+            break
+
+        # ---- advance: next cycle anything can happen ------------------
+        nxt = -1
+        if live > 0:
+            result = ent_result[ring[head]]
+            if result != _UNKNOWN:
+                nxt = result if result > cycle else cycle + 1
+        if ready_heap:
+            c = ready_heap[0][0]
+            if c <= cycle:
+                c = cycle + 1
+            if nxt < 0 or c < nxt:
+                nxt = c
+        if pos < n_entries and live < ruu_size:
+            cand = issue_resume if issue_resume > cycle + 1 else cycle + 1
+            op = ops[pos]
+            if op[3] and op[8]:
+                a0_tag = latest_instance[_A0] * n_regs + _A0
+                a0_ready = (
+                    0 if a0_tag < n_regs
+                    else tag_avail.get(a0_tag, _UNKNOWN)
+                )
+                if a0_ready == _UNKNOWN:
+                    cand = -1  # A0 producer must dispatch first
+                elif a0_ready > cand:
+                    cand = a0_ready
+            if cand >= 0 and (nxt < 0 or cand < nxt):
+                nxt = cand
+        if nxt < 0:  # pragma: no cover - deadlock trap advances
+            nxt = cycle + 1
+
+        # Credit the skipped idle cycles to the statistics exactly as
+        # the reference's cycle-by-cycle walk would have.
+        idle = nxt - cycle - 1
+        if idle > 0:
+            occupancy_sum += live * idle
+            if pos < n_entries:
+                blocked = issue_resume - cycle - 1
+                if blocked > idle:
+                    blocked = idle
+                elif blocked < 0:
+                    blocked = 0
+                branch_stall_cycles += blocked
+                if live >= ruu_size:
+                    full_stall_cycles += idle - blocked
+        cycle = nxt
+
+    if tracking:
+        record.extend(zip(issue_at, complete_at))
+    detail = {
+        "ruu_occupancy_mean": occupancy_sum / max(cycle, 1),
+        "ruu_full_stall_cycles": float(full_stall_cycles),
+        "branch_stall_cycles": float(branch_stall_cycles),
+    }
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=n_entries,
+        cycles=max(last_commit, 1),
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
+# Out-of-order multiple issue (Section 5.2)
+# ----------------------------------------------------------------------
+
+#: Cap on buffer-drain scan passes, mirroring the reference's guard.
+_MAX_BUFFER_CYCLES = 100_000
+
+
+def simulate_ooo_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`OutOfOrderMultiIssueMachine.reference_simulate`.
+
+    Buffer cuts come from the compiled taken flags; the per-cycle slot
+    scan is the reference's (same hazard tests in the same order against
+    integer state), and whenever a full scan issues nothing the loop
+    jumps to the earliest cycle any unblocked slot could issue -- the
+    machine state is frozen in between, so the skipped scans are pure
+    no-ops in the reference too.
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from .base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    _STATS["fast_runs"] += 1
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    branch_latency = config.branch_latency
+    units = machine.issue_units
+    kind = machine.bus_kind
+    enforce_war = machine.enforce_war
+    n_buses = 1 if kind is BusKind.ONE_BUS else units
+    xbar = kind is BusKind.X_BAR
+
+    reg_ready = [0] * N_REGISTERS
+    fu_free = [0] * len(UNITS)
+    buses: List[set] = [set() for _ in range(n_buses)]
+    # Completion-event min-heap for pruning dead reservations (the
+    # cycle floor never decreases across or within buffers).
+    bus_heap: List[Tuple[int, int]] = []
+
+    ops = compiled.ops
+    n_entries = compiled.n
+    pos = 0
+    cycle = 0
+    last_event = 0
+    tracking = record is not None
+    if tracking:
+        issue_at = [0] * n_entries
+        complete_at = [0] * n_entries
+
+    while pos < n_entries:
+        # Fetch buffer: up to N slots, cut after the first taken branch.
+        end = pos + units
+        if end > n_entries:
+            end = n_entries
+        blen = 0
+        for index in range(pos, end):
+            blen += 1
+            op = ops[index]
+            if op[3] and op[4]:
+                break
+
+        issued = [False] * blen
+        branch_resolve = [_UNKNOWN] * blen
+        remaining = blen
+        barrier = 0  # latest branch resolution; gates the next buffer
+        guard = 0
+
+        while remaining:
+            guard += 1
+            if guard > _MAX_BUFFER_CYCLES:  # pragma: no cover - bug trap
+                raise RuntimeError(
+                    f"buffer failed to drain at trace pos {pos}"
+                )
+            while bus_heap and bus_heap[0][0] <= cycle:
+                done, bus_index = heappop(bus_heap)
+                buses[bus_index].discard(done)
+            progressed = False
+            for slot in range(blen):
+                if issued[slot]:
+                    continue
+                op = ops[pos + slot]
+                unit, dest, srcs, is_branch = op[0], op[1], op[2], op[3]
+                # Control: every earlier branch resolved (no speculation).
+                blocked = False
+                for earlier in range(slot):
+                    if ops[pos + earlier][3]:
+                        resolve = branch_resolve[earlier]
+                        if resolve == _UNKNOWN or resolve > cycle:
+                            blocked = True
+                            break
+                if blocked:
+                    continue
+                # RAW/WAW (and optionally WAR) against unissued earlier
+                # slots.
+                for earlier in range(slot):
+                    if issued[earlier]:
+                        continue
+                    eop = ops[pos + earlier]
+                    edest = eop[1]
+                    if edest >= 0:
+                        if edest in srcs:  # RAW
+                            blocked = True
+                            break
+                        if dest >= 0 and edest == dest:  # WAW
+                            blocked = True
+                            break
+                    if enforce_war and dest >= 0 and dest in eop[2]:  # WAR
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+                latency = latencies[unit]
+                earliest = cycle
+                for src in srcs:
+                    ready = reg_ready[src]
+                    if ready > earliest:
+                        earliest = ready
+                if dest >= 0:
+                    ready = reg_ready[dest]
+                    if ready > earliest:
+                        earliest = ready
+                ready = fu_free[unit]
+                if ready > earliest:
+                    earliest = ready
+                if earliest > cycle:
+                    continue
+                complete = cycle + latency
+                if dest >= 0:
+                    if xbar:
+                        chosen = -1
+                        for bus_index in range(n_buses):
+                            if complete not in buses[bus_index]:
+                                chosen = bus_index
+                                break
+                        if chosen < 0:
+                            continue
+                    else:
+                        chosen = slot % n_buses
+                        if complete in buses[chosen]:
+                            continue
+
+                # Issue slot at `cycle`.
+                issued[slot] = True
+                remaining -= 1
+                progressed = True
+                fu_free[unit] = cycle + 1
+                if dest >= 0:
+                    reg_ready[dest] = complete
+                    buses[chosen].add(complete)
+                    heappush(bus_heap, (complete, chosen))
+                if not is_branch and complete > last_event:
+                    last_event = complete
+                if tracking:
+                    issue_at[pos + slot] = cycle
+                    complete_at[pos + slot] = (
+                        cycle + branch_latency if is_branch else complete
+                    )
+                if is_branch:
+                    resolve = cycle + branch_latency
+                    branch_resolve[slot] = resolve
+                    if resolve > last_event:
+                        last_event = resolve
+                    if resolve > barrier:
+                        barrier = resolve
+            if remaining:
+                if progressed:
+                    cycle += 1
+                    continue
+                # Nothing issued and nothing can until some floor
+                # passes: jump to the earliest candidate issue cycle.
+                nxt = -1
+                for slot in range(blen):
+                    if issued[slot]:
+                        continue
+                    op = ops[pos + slot]
+                    unit, dest, srcs = op[0], op[1], op[2]
+                    control_floor = 0
+                    blocked = False
+                    for earlier in range(slot):
+                        eop = ops[pos + earlier]
+                        if not issued[earlier]:
+                            # Gated by an earlier unissued slot: that
+                            # slot's own candidate bounds this one.
+                            if eop[3]:
+                                blocked = True
+                                break
+                            edest = eop[1]
+                            if edest >= 0 and (
+                                edest in srcs
+                                or (dest >= 0 and edest == dest)
+                            ):
+                                blocked = True
+                                break
+                            if (
+                                enforce_war
+                                and dest >= 0
+                                and dest in eop[2]
+                            ):
+                                blocked = True
+                                break
+                        elif eop[3]:
+                            resolve = branch_resolve[earlier]
+                            if resolve > control_floor:
+                                control_floor = resolve
+                    if blocked:
+                        continue
+                    cand = cycle + 1
+                    if control_floor > cand:
+                        cand = control_floor
+                    for src in srcs:
+                        ready = reg_ready[src]
+                        if ready > cand:
+                            cand = ready
+                    if dest >= 0:
+                        ready = reg_ready[dest]
+                        if ready > cand:
+                            cand = ready
+                    ready = fu_free[unit]
+                    if ready > cand:
+                        cand = ready
+                    if dest >= 0:
+                        latency = latencies[unit]
+                        if xbar:
+                            while all(
+                                cand + latency in bus for bus in buses
+                            ):
+                                cand += 1
+                        else:
+                            reserved = buses[slot % n_buses]
+                            while cand + latency in reserved:
+                                cand += 1
+                    if nxt < 0 or cand < nxt:
+                        nxt = cand
+                cycle = nxt if nxt > cycle else cycle + 1
+
+        pos += blen
+        # The next buffer is available the cycle after the last issue,
+        # but never before every branch in this buffer has resolved.
+        cycle = cycle + 1 if cycle + 1 > barrier else barrier
+
+    if tracking:
+        record.extend(zip(issue_at, complete_at))
     return SimulationResult(
         trace_name=compiled.name,
         simulator=machine.name,

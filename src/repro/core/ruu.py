@@ -38,8 +38,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import A0, FunctionalUnit, Register
-from ..obs.events import EventKind, SimEvent
+from ..obs.events import EventKind, SimEvent, hook_installed
 from ..trace import Trace
+from . import fastpath
 from .base import Simulator, require_scalar_trace
 from .buses import BusKind, SlotPerCycle
 from .config import MachineConfig
@@ -156,8 +157,32 @@ class RUUMachine(Simulator):
 
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        # Speculative runs keep the reference loop: the fast loop models
+        # neither per-branch prediction state nor the accuracy detail.
+        # hook_installed is re-read per call so a hook attached after
+        # construction always gets the event-emitting loop.
+        if (
+            self.predictor_factory is None
+            and fastpath.enabled()
+            and not hook_installed(self)
+        ):
+            return fastpath.simulate_ruu_fast(self, trace, config)
+        return self._simulate(trace, config, self.on_event)
+
+    def reference_simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """The pre-fast-path RUU loop, hook plumbing disabled.
+
+        The differential tests and the cross-machine oracle use this as
+        the baseline the compiled fast loop must match bit-for-bit.
+        """
+        return self._simulate(trace, config, None)
+
+    def _simulate(
+        self, trace: Trace, config: MachineConfig, emit
+    ) -> SimulationResult:
         require_scalar_trace(trace, self.name)
-        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
         width = self.path_width

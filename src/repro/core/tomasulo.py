@@ -25,8 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import FunctionalUnit, Register
-from ..obs.events import EventKind, SimEvent
+from ..obs.events import EventKind, SimEvent, hook_installed
 from ..trace import Trace
+from . import fastpath
 from .base import Simulator, require_scalar_trace
 from .buses import SlotPerCycle
 from .config import MachineConfig
@@ -74,8 +75,26 @@ class TomasuloMachine(Simulator):
 
     # ------------------------------------------------------------------
     def simulate(self, trace: Trace, config: MachineConfig) -> SimulationResult:
+        # hook_installed is re-read per call so a hook attached after
+        # construction always gets the event-emitting reference loop.
+        if fastpath.enabled() and not hook_installed(self):
+            return fastpath.simulate_tomasulo_fast(self, trace, config)
+        return self._simulate(trace, config, self.on_event)
+
+    def reference_simulate(
+        self, trace: Trace, config: MachineConfig
+    ) -> SimulationResult:
+        """The pre-fast-path Tomasulo loop, hook plumbing disabled.
+
+        The differential tests and the cross-machine oracle use this as
+        the baseline the compiled fast loop must match bit-for-bit.
+        """
+        return self._simulate(trace, config, None)
+
+    def _simulate(
+        self, trace: Trace, config: MachineConfig, emit
+    ) -> SimulationResult:
         require_scalar_trace(trace, self.name)
-        emit = self.on_event
         latencies = config.latencies
         branch_latency = config.branch_latency
 

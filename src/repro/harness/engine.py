@@ -35,7 +35,7 @@ from datetime import datetime, timezone
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..core import config_by_name
+from ..core import config_by_name, fastpath
 from ..core.registry import build_simulator
 from ..kernels import build_kernel
 from ..limits import compute_limits
@@ -66,6 +66,15 @@ _CACHE_METRIC_NAMES = {
     "result_hits": "cache.result.hits",
     "result_misses": "cache.result.misses",
     "result_corruptions": "cache.result.corruptions",
+}
+
+#: repro.core.fastpath stats key -> metric name published per cell.
+_FASTPATH_METRIC_NAMES = {
+    "fast_runs": "fastpath.fast_runs",
+    "compiles": "fastpath.compiles",
+    "cache_hits": "fastpath.cache_hits",
+    "cache_misses": "fastpath.cache_misses",
+    "evictions": "fastpath.evictions",
 }
 
 
@@ -226,6 +235,7 @@ def evaluate_cell(
     start = time.perf_counter()
     queue_wait = max(0.0, started - enqueued) if enqueued is not None else 0.0
     counters_before = cache.counters() if cache is not None else None
+    fastpath_before = fastpath.stats()
     spans: List[Tuple[str, float, float]] = []
 
     def finish(
@@ -239,6 +249,11 @@ def evaluate_cell(
                 delta = after.get(key, 0) - counters_before.get(key, 0)
                 if delta:
                     metrics[name] = float(delta)
+        fastpath_after = fastpath.stats()
+        for key, name in _FASTPATH_METRIC_NAMES.items():
+            delta = fastpath_after.get(key, 0) - fastpath_before.get(key, 0)
+            if delta:
+                metrics[name] = float(delta)
         return CellOutcome(
             index=index,
             values=values,

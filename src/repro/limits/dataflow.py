@@ -22,11 +22,11 @@ result buffering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..isa import Register
-from ..trace import Trace
 from ..core.config import MachineConfig
+from ..core.fastpath import N_REGISTERS, UNITS, compile_trace
+from ..trace import Trace
 
 #: Critical-predecessor marker: the instruction was gated by nothing (it
 #: started at cycle 0).
@@ -94,17 +94,25 @@ def pseudo_dataflow_schedule(
 
     Walks the dynamic stream once; because the stream is in program order,
     the most recent write to a register is exactly the value instance a
-    later reader consumes, so a per-register ready time suffices.
+    later reader consumes, so a per-register ready time suffices.  The
+    walk runs on the compiled flat-integer tuples shared with the fast
+    replay path (:func:`repro.core.fastpath.compile_trace`), so a trace
+    replayed across machines and limits is lowered exactly once.
 
     With ``detail=True`` the per-instruction schedule and critical
     predecessors are retained (used by :mod:`repro.analysis`).
     """
-    latencies = config.latencies
+    compiled = compile_trace(trace)
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
     branch_latency = config.branch_latency
 
-    # value_ready / write_done map registers to (cycle, producer index).
-    value_ready: Dict[Register, Tuple[int, int]] = {}
-    write_done: Dict[Register, Tuple[int, int]] = {}  # for serial_waw
+    # Per-register value/write ready times and producer indices, over
+    # the dense 0..N_REGISTERS-1 id space.
+    val_ready = [0] * N_REGISTERS
+    val_prod = [NO_PREDECESSOR] * N_REGISTERS
+    wr_done = [0] * N_REGISTERS  # for serial_waw
+    wr_prod = [NO_PREDECESSOR] * N_REGISTERS
     control = 0  # resolution time of the latest preceding branch
     control_pred = NO_PREDECESSOR
     makespan = 1
@@ -113,45 +121,44 @@ def pseudo_dataflow_schedule(
     completes: List[int] = []
     critical_pred: List[int] = []
 
-    for index, entry in enumerate(trace):
-        instr = entry.instruction
+    for index, op in enumerate(compiled.ops):
+        unit, dest, srcs, is_branch, _t, is_vector, vl, _bus, _c = op
 
         start = control
         pred = control_pred
-        for src in instr.source_registers:
-            ready, producer = value_ready.get(src, (0, NO_PREDECESSOR))
+        for src in srcs:
+            ready = val_ready[src]
             if ready > start:
                 start = ready
-                pred = producer
+                pred = val_prod[src]
 
-        if instr.is_branch:
+        if is_branch:
             control = start + branch_latency
             control_pred = index
             complete = control
         else:
-            complete = start + instr.latency(latencies)
-            if instr.is_vector and entry.vector_length:
+            complete = start + latencies[unit]
+            if is_vector and vl:
                 # The full vector result exists only after all elements
                 # stream through (consumers may chain earlier, but the
                 # value-ready time below already models perfect chaining
                 # via the unchanged producer start).
-                complete += entry.vector_length
-            if instr.dest is not None:
+                complete += vl
+            if dest >= 0:
                 if serial_waw:
-                    previous, prev_writer = write_done.get(
-                        instr.dest, (0, NO_PREDECESSOR)
-                    )
+                    previous = wr_done[dest]
                     if previous > complete:
                         complete = previous  # "at best, at the same time"
-                        pred = prev_writer
-                    write_done[instr.dest] = (complete, index)
-                if instr.is_vector and entry.vector_length:
+                        pred = wr_prod[dest]
+                    wr_done[dest] = complete
+                    wr_prod[dest] = index
+                if is_vector and vl:
                     # Perfect chaining: dependents consume elements as
                     # they are produced, i.e. latency after the start.
-                    ready = start + instr.latency(latencies)
-                    value_ready[instr.dest] = (ready, index)
+                    val_ready[dest] = start + latencies[unit]
                 else:
-                    value_ready[instr.dest] = (complete, index)
+                    val_ready[dest] = complete
+                val_prod[dest] = index
 
         if complete > makespan:
             makespan = complete
@@ -162,8 +169,8 @@ def pseudo_dataflow_schedule(
             critical_pred.append(pred)
 
     return DataflowSchedule(
-        trace_name=trace.name,
-        instructions=len(trace),
+        trace_name=compiled.name,
+        instructions=compiled.n,
         makespan=makespan,
         serial_waw=serial_waw,
         starts=tuple(starts) if detail else None,

@@ -17,13 +17,13 @@ limit) must hold even on one-instruction traces.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping
 
+from ..core.config import MachineConfig
+from ..core.fastpath import UNITS, compile_trace
 from ..isa import FunctionalUnit
 from ..trace import Trace
-from ..core.config import MachineConfig
 
 
 @dataclass(frozen=True)
@@ -56,23 +56,31 @@ def resource_limit(trace: Trace, config: MachineConfig) -> ResourceBound:
     """Compute the resource limit of *trace* under *config*.
 
     Every unit -- including the memory port and the branch mechanism -- is
-    modelled at a throughput of one operation per cycle.
+    modelled at a throughput of one operation per cycle.  Counting runs
+    on the compiled flat-integer tuples shared with the fast replay path
+    (:func:`repro.core.fastpath.compile_trace`), so a trace replayed
+    across machines and limits is lowered exactly once.
     """
+    compiled = compile_trace(trace)
     latencies = config.latencies
-    counts: Counter = Counter()
-    for entry in trace:
+
+    # Insertion order (first occurrence in the trace) is the tie-break
+    # `max` inherits below, so count into an ordered dict, not an array.
+    counts: Dict[int, int] = {}
+    for op in compiled.ops:
         # A vector operation occupies its unit for one cycle per element.
-        occupancy = entry.vector_length if entry.instruction.is_vector else 1
-        counts[entry.instruction.unit] += occupancy or 1
+        occupancy = op[6] if op[5] else 1
+        counts[op[0]] = counts.get(op[0], 0) + (occupancy or 1)
 
     unit_times: Dict[FunctionalUnit, int] = {}
-    for unit, count in counts.items():
+    for unit_id, count in counts.items():
+        unit = UNITS[unit_id]
         unit_times[unit] = count - 1 + latencies.latency(unit)
 
     bottleneck = max(unit_times, key=lambda unit: unit_times[unit])
     return ResourceBound(
-        trace_name=trace.name,
-        instructions=len(trace),
+        trace_name=compiled.name,
+        instructions=compiled.n,
         unit_times=unit_times,
         bottleneck=bottleneck,
     )

@@ -52,8 +52,8 @@ class MachineProfile:
 
     Attributes:
         spec: the registry spec string this profile describes.
-        emits_events: whether the machine emits events at all (Simple,
-            CDC6600 and the memsys wrappers do not).
+        emits_events: whether the machine emits events at all (Simple
+            and the memsys wrappers do not).
         blocking: operands are complete at issue time (RAW enforced at
             the issue stage) and completion is exactly issue + latency.
         branch_completes: branches receive COMPLETE events (the buffered
@@ -80,7 +80,7 @@ def profile_for_spec(spec: str) -> MachineProfile:
     parsed = parse_spec(spec)
     head, params = parsed.head, parsed.params
 
-    if head in ("simple", "cdc6600", "cache", "banked"):
+    if head in ("simple", "cache", "banked"):
         return MachineProfile(
             spec=spec,
             emits_events=False,
@@ -89,6 +89,11 @@ def profile_for_spec(spec: str) -> MachineProfile:
             issue_width=None,
             fu_single_issue=False,
         )
+    if head == "cdc6600":
+        # Single in-order issue, but RAW waits at the units: completion
+        # is start + latency with start >= issue, so only the latency
+        # floor holds, not exactness.
+        return MachineProfile(spec=spec, blocking=False)
     if head in ("serialmemory", "nonsegmented", "cray", "cray-like"):
         return MachineProfile(spec=spec)
     if head == "tomasulo":

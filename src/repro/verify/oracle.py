@@ -18,11 +18,12 @@ is exact -- no floating-point tolerance needed):
   the same hardware), as are in-order and out-of-order issue at a
   buffer of one;
 * **fastpath duals** -- any machine exposing a ``reference_simulate``
-  method (the scoreboard family and the in-order multi-issue machine,
-  whose default :meth:`simulate` dispatches to the compiled fast path
-  in :mod:`repro.core.fastpath`) must report the same cycle count from
-  both paths; the nightly fuzz shards replay this check over thousands
-  of seeds.
+  method (the scoreboard family, the in-order and out-of-order
+  multi-issue machines, the RUU, Tomasulo and CDC6600 models -- every
+  machine whose default :meth:`simulate` dispatches to the compiled
+  fast path in :mod:`repro.core.fastpath`) must report the same cycle
+  count from both paths; the nightly fuzz shards replay this check over
+  thousands of seeds.
 
 The edge list was calibrated empirically over ~12,000 fuzzed traces
 (all four memory/branch variants, trace shapes from length-1 to
@@ -56,6 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core import fastpath
 from ..core.base import Simulator
 from ..core.config import MachineConfig
 from ..core.registry import build_simulator
@@ -165,8 +167,14 @@ def run_oracle(
     caller can verify any subset.  *simulators* substitutes specific
     instances by spec (the test suite injects deliberately broken
     machines this way).
+
+    The trace is lowered once up front (a strong reference pins the
+    compile-cache entry for the whole run), so the limit calculators,
+    every fast-path machine, and the fastpath-dual re-replays below all
+    share one :func:`repro.core.fastpath.compile_trace` result.
     """
     report = OracleReport(trace_name=trace.name, config=config.name)
+    compiled = fastpath.compile_trace(trace)  # noqa: F841 -- keepalive
 
     dataflow = pseudo_dataflow_schedule(trace, config)
     serial = pseudo_dataflow_schedule(trace, config, serial_waw=True)

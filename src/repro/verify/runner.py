@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..core import fastpath
 from ..core.config import STANDARD_CONFIGS, MachineConfig
 from ..trace import Trace, write_trace
 from .fuzz import FuzzSpec, fuzz_trace
@@ -109,7 +110,13 @@ def _first_violation(
     machines: Sequence[str],
 ):
     """All-layer check pass; returns (violation, checks_run) with the
-    first violation found (or None)."""
+    first violation found (or None).
+
+    The trace is compiled once here (strong reference held for the whole
+    pass), so the oracle's limit calculators and every fast-path machine
+    across all specs share one lowering per seed.
+    """
+    compiled = fastpath.compile_trace(trace)  # noqa: F841 -- keepalive
     checks = 0
     for spec in machines:
         checks += 1

@@ -213,6 +213,39 @@ class TestObservedCacheCounters:
         assert "corrupt" not in footer
 
 
+class TestFastpathCounters:
+    """Per-cell compiled-fast-path stats deltas fold into the run metrics."""
+
+    def test_cold_run_reports_fast_runs_and_compiles(self, small_sizes):
+        from repro.core import fastpath
+
+        if not fastpath.enabled():
+            pytest.skip("fast path disabled via REPRO_FASTPATH")
+        cold = api.run_table(
+            "table1", sizes=small_sizes, workers=1, observe=True
+        )
+        counters = cold.stats.metrics["counters"]
+        # Most table1 machines dispatch to a compiled loop; each of those
+        # cells contributes one fast run plus either a compile (first
+        # replay of the trace this process) or a compile-cache hit.
+        assert counters["fastpath.fast_runs"] > 0
+        assert (
+            counters.get("fastpath.compiles", 0.0)
+            + counters.get("fastpath.cache_hits", 0.0)
+        ) > 0
+        assert cold.manifest.counter("fastpath.fast_runs") == (
+            counters["fastpath.fast_runs"]
+        )
+
+        # A warm run serves every cell from the result cache: nothing is
+        # simulated, so no fast runs are recorded.
+        warm = api.run_table(
+            "table1", sizes=small_sizes, workers=1, observe=True
+        )
+        warm_counters = warm.stats.metrics["counters"]
+        assert warm_counters.get("fastpath.fast_runs", 0.0) == 0.0
+
+
 class TestDiskCacheUnit:
     def test_result_round_trip(self, tmp_path):
         store = DiskCache(tmp_path / "c")

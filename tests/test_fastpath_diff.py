@@ -15,9 +15,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import M5BR2, M5BR5, M11BR2, M11BR5, fastpath
+from repro.core.cdc6600 import CDC6600Machine
 from repro.core.registry import build_simulator
+from repro.core.ruu import RUUMachine
 from repro.core.scoreboard import ScoreboardMachine, cray_like_machine
 from repro.core.inorder_multi import InOrderMultiIssueMachine
+from repro.core.ooo_multi import OutOfOrderMultiIssueMachine
+from repro.core.tomasulo import TomasuloMachine
 from repro.obs.events import EventCollector, EventKind
 from repro.verify.fuzz import FuzzSpec, fuzz_trace
 
@@ -31,6 +35,18 @@ FAST_PATH_SPECS = (
     "inorder:4",
     "inorder:4:1bus",
     "inorder:4:xbar",
+    "cdc6600",
+    "tomasulo",
+    "ooo:1",
+    "ooo:2",
+    "ooo:4",
+    "ooo:4:1bus",
+    "ooo:4:xbar",
+    "ruu:1:1",
+    "ruu:2:10",
+    "ruu:2:50",
+    "ruu:4:50",
+    "ruu:4:50:1bus",
 )
 
 CONFIGS = (M11BR5, M11BR2, M5BR5, M5BR2)
@@ -54,8 +70,16 @@ def _fastpath_on():
 def _fast_fn(simulator):
     if isinstance(simulator, ScoreboardMachine):
         return fastpath.simulate_scoreboard_fast
-    assert isinstance(simulator, InOrderMultiIssueMachine)
-    return fastpath.simulate_inorder_fast
+    if isinstance(simulator, InOrderMultiIssueMachine):
+        return fastpath.simulate_inorder_fast
+    if isinstance(simulator, OutOfOrderMultiIssueMachine):
+        return fastpath.simulate_ooo_fast
+    if isinstance(simulator, RUUMachine):
+        return fastpath.simulate_ruu_fast
+    if isinstance(simulator, TomasuloMachine):
+        return fastpath.simulate_tomasulo_fast
+    assert isinstance(simulator, CDC6600Machine)
+    return fastpath.simulate_cdc6600_fast
 
 
 # ----------------------------------------------------------------------
@@ -75,9 +99,16 @@ def test_fast_path_matches_reference(spec):
         assert fast.cycles == reference.cycles, (spec, trace.name)
         assert fast.issue_rate == reference.issue_rate, (spec, trace.name)
         assert fast.instructions == reference.instructions
+        assert dict(fast.detail or {}) == dict(reference.detail or {}), (
+            spec,
+            trace.name,
+        )
 
         # Per-instruction (issue, complete) pairs from the fast loop's
-        # record hook vs the reference path's event stream.
+        # record hook vs the reference path's event stream.  The RUU and
+        # Tomasulo references emit no COMPLETE for branches (they never
+        # occupy a window slot); the fast loops record their resolution,
+        # issue + branch_latency, for those.
         schedule = []
         recorded = fast_fn(simulator, trace, config, schedule)
         assert recorded.cycles == fast.cycles
@@ -86,7 +117,12 @@ def test_fast_path_matches_reference(spec):
         issues = collector.cycles_by_seq(EventKind.ISSUE)
         completes = collector.cycles_by_seq(EventKind.COMPLETE)
         expected = [
-            (issues[entry.seq], completes[entry.seq])
+            (
+                issues[entry.seq],
+                completes.get(
+                    entry.seq, issues[entry.seq] + config.branch_latency
+                ),
+            )
             for entry in trace.entries
         ]
         assert schedule == expected, (spec, trace.name)
@@ -124,6 +160,46 @@ def test_compile_cache_hits_on_same_trace_object():
     assert stats["cache_hits"] >= 1
 
 
+def test_ruu_predictor_gate_forces_reference():
+    """A RUU with a branch predictor never takes the fast path (the fast
+    loop models only the default resolve-at-issue policy)."""
+    from repro.predict import AlwaysTakenPredictor
+
+    predicted = RUUMachine(2, 50, predictor_factory=AlwaysTakenPredictor)
+    fastpath.reset_stats()
+    result = predicted.simulate(TRACES[5], M11BR5)
+    assert fastpath.stats()["fast_runs"] == 0
+    # And the reference loop it fell back to is the real one.
+    assert result.cycles == predicted._simulate(TRACES[5], M11BR5, None).cycles
+
+    plain = RUUMachine(2, 50)
+    fastpath.reset_stats()
+    plain.simulate(TRACES[5], M11BR5)
+    assert fastpath.stats()["fast_runs"] == 1
+
+
+def test_compile_cache_evicts_dead_traces():
+    """1k throwaway traces must not grow the compile cache (weakref
+    eviction) -- the regression a plain dict cache would reintroduce."""
+    import gc
+
+    machine = TomasuloMachine()
+    fastpath.reset_stats()
+    before = len(fastpath._CACHE)
+    shape = FuzzSpec(length=8)
+    for seed in range(1000):
+        throwaway = fuzz_trace(10_000 + seed, shape)
+        fastpath.compile_trace(throwaway)
+        if seed % 100 == 0:
+            machine.simulate(throwaway, M11BR5)
+        del throwaway
+    gc.collect()
+    assert len(fastpath._CACHE) <= before + 2
+    stats = fastpath.stats()
+    assert stats["compiles"] == 1000
+    assert stats["evictions"] >= 990
+
+
 def test_vector_trace_rejected_with_reference_message():
     """Both paths reject vector traces with the identical error."""
     from repro.kernels.vectorized import build_vectorized
@@ -141,11 +217,18 @@ def test_vector_trace_rejected_with_reference_message():
 # Hook-presence dispatch
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize(
-    "make_machine",
-    [cray_like_machine, lambda: InOrderMultiIssueMachine(4)],
-    ids=["scoreboard", "inorder"],
-)
+_HOOK_MACHINES = [
+    cray_like_machine,
+    lambda: InOrderMultiIssueMachine(4),
+    lambda: OutOfOrderMultiIssueMachine(2),
+    lambda: RUUMachine(2, 10),
+    TomasuloMachine,
+    CDC6600Machine,
+]
+_HOOK_IDS = ["scoreboard", "inorder", "ooo", "ruu", "tomasulo", "cdc6600"]
+
+
+@pytest.mark.parametrize("make_machine", _HOOK_MACHINES, ids=_HOOK_IDS)
 def test_hook_attached_after_construction_forces_reference(make_machine):
     """The regression the dispatch rule exists for: a collector attached
     *after* the machine has already run fast must still receive events.
@@ -168,11 +251,7 @@ def test_hook_attached_after_construction_forces_reference(make_machine):
     assert fastpath.stats()["fast_runs"] == 1
 
 
-@pytest.mark.parametrize(
-    "make_machine",
-    [cray_like_machine, lambda: InOrderMultiIssueMachine(2)],
-    ids=["scoreboard", "inorder"],
-)
+@pytest.mark.parametrize("make_machine", _HOOK_MACHINES, ids=_HOOK_IDS)
 def test_simulate_observed_forces_reference(make_machine):
     """simulate_observed installs the hook mid-call; it must never run
     the event-free fast path."""

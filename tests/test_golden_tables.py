@@ -84,10 +84,15 @@ def test_table_matches_seed_run_with_fastpath_disabled():
 
 def test_table_run_took_the_fast_path():
     """The golden runs above actually exercise the fast path (workers=1
-    keeps the engine in-process, so the counters are visible)."""
-    fastpath.reset_stats()
-    _assert_matches_golden("table1")
-    assert fastpath.stats()["fast_runs"] > 0
+    keeps the engine in-process, so the counters are visible).  Pinned
+    enabled so a REPRO_FASTPATH=0 environment still tests the claim."""
+    previous = fastpath.set_enabled(True)
+    try:
+        fastpath.reset_stats()
+        _assert_matches_golden("table1")
+        assert fastpath.stats()["fast_runs"] > 0
+    finally:
+        fastpath.set_enabled(previous)
 
 
 def test_golden_scalar_and_vectorizable_splits_present():

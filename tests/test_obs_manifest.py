@@ -149,6 +149,7 @@ class TestCliStats:
         out = capsys.readouterr().out
         assert "observed runs" in out
         assert "result cache" in out
+        assert "compiled fast path" in out
         assert "slowest cells" in out
         # The warm second run hit the cache on every cell.
         assert "hit rate 100.0%" in out

@@ -68,14 +68,22 @@ class TestCleanMachinesPass:
 
 class TestProfiles:
     def test_eventless_machines(self):
-        for spec in ("simple", "cdc6600", "cache:256", "banked:8"):
+        for spec in ("simple", "cache:256", "banked:8"):
             assert not profile_for_spec(spec).emits_events
+
+    def test_cdc6600_emits_events(self):
+        profile = profile_for_spec("cdc6600")
+        assert profile.emits_events
+        assert not profile.blocking  # RAW waits at the units
+        assert profile.branch_completes
+        assert profile.issue_width == 1
 
     def test_blocking_vs_buffered(self):
         assert profile_for_spec("cray").blocking
         assert profile_for_spec("inorder:4").blocking
         assert not profile_for_spec("tomasulo").blocking
         assert not profile_for_spec("ruu:2:10").blocking
+        assert not profile_for_spec("cdc6600").blocking
 
     def test_parameters_flow_through(self):
         profile = profile_for_spec("ruu:4:50")

@@ -72,6 +72,38 @@ class DivergentFastPathMachine:
         return self._inner.simulate(trace, config)
 
 
+class MutatedReferenceMachine:
+    """A machine whose reference loop silently runs under a different
+    latency table -- the mutated-latency bug landing in *one* of the two
+    replay paths, which only the fastpath-dual check can see."""
+
+    def __init__(self, inner, mutated: MachineConfig):
+        self._inner = inner
+        self._mutated = mutated
+
+    @property
+    def name(self):
+        return self._inner.name
+
+    def simulate(self, trace, config):
+        return self._inner.simulate(trace, config)
+
+    def reference_simulate(self, trace, config):
+        return self._inner.reference_simulate(trace, self._mutated)
+
+
+#: Every machine family whose simulate() dispatches to a compiled fast
+#: loop (and therefore exposes a reference_simulate dual).
+FAST_LOOP_SPECS = (
+    "cray",
+    "inorder:4",
+    "ooo:4",
+    "ruu:2:50",
+    "tomasulo",
+    "cdc6600",
+)
+
+
 class TestFastpathDualCheck:
     def test_divergent_fast_path_caught(self):
         broken = DivergentFastPathMachine(build_simulator("cray"))
@@ -79,6 +111,41 @@ class TestFastpathDualCheck:
         report = run_oracle(trace, M11BR5, simulators={"cray": broken})
         checks = {v.check for v in report.violations}
         assert "fastpath-dual" in checks, [str(v) for v in report.violations]
+
+    @pytest.mark.parametrize("spec", FAST_LOOP_SPECS)
+    def test_off_by_one_divergence_caught_per_machine(self, spec):
+        broken = DivergentFastPathMachine(build_simulator(spec))
+        trace = fuzz_trace(1)
+        report = run_oracle(
+            trace, M11BR5, machines=(spec,), edges=(), simulators={spec: broken}
+        )
+        assert any(
+            v.check == "fastpath-dual" and v.machine == spec
+            for v in report.violations
+        ), [str(v) for v in report.violations]
+
+    @pytest.mark.parametrize("spec", FAST_LOOP_SPECS)
+    def test_mutated_latency_divergence_caught_per_machine(self, spec):
+        # Memory latency 11 -> 5 in the reference loop only; some fuzzed
+        # trace must make the two paths disagree.
+        broken = MutatedReferenceMachine(
+            build_simulator(spec), MachineConfig(memory_latency=5)
+        )
+        for seed in range(20):
+            trace = fuzz_trace(seed)
+            report = run_oracle(
+                trace,
+                M11BR5,
+                machines=(spec,),
+                edges=(),
+                simulators={spec: broken},
+            )
+            if any(
+                v.check == "fastpath-dual" and v.machine == spec
+                for v in report.violations
+            ):
+                return
+        pytest.fail(f"mutated reference loop never caught for {spec}")
 
     def test_clean_machines_report_no_dual_violations(self):
         report = run_oracle(fuzz_trace(2), M11BR5)
