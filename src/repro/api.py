@@ -43,9 +43,16 @@ from .bench import (
     run_suite as _run_bench_suite,
 )
 from .core import SimulationResult, build_simulator, config_by_name
-from .core.registry import UnknownSpecError, available_specs, list_specs
+from .core import fastpath
+from .core.registry import (
+    ParsedSpec,
+    UnknownSpecError,
+    available_specs,
+    list_specs,
+    parse_spec as _parse_spec_string,
+)
 from .harness import experiments as _experiments
-from .harness.aggregate import relative_error
+from .harness.aggregate import harmonic_mean, relative_error
 from .harness.engine import EngineStats, run_plan
 from .harness.paper import PAPER_SECTION33, PAPER_TABLES
 from .harness.plans import PLAN_BUILDERS, build_plan
@@ -75,7 +82,10 @@ Sizes = Optional[Mapping[int, int]]
 __all__ = [
     "BenchOptions",
     "BenchReport",
+    "MachineInfo",
+    "ParsedSpec",
     "RunManifest",
+    "SweepRun",
     "TableRun",
     "UnknownSpecError",
     "VerifyReport",
@@ -86,12 +96,16 @@ __all__ = [
     "find_run",
     "kernel_stats",
     "limits",
+    "list_backends",
     "list_machines",
     "list_runs",
     "list_tables",
     "load_bench_report",
+    "machine_info",
+    "parse_spec",
     "replay",
     "run_bench",
+    "run_sweep",
     "run_table",
     "section33",
     "simulate",
@@ -148,6 +162,7 @@ def run_table(
     cache: bool = True,
     sizes: Sizes = None,
     observe: bool = False,
+    backend: str = "auto",
     **plan_overrides,
 ) -> TableRun:
     """Regenerate one of the paper's tables.
@@ -160,6 +175,10 @@ def run_table(
         sizes: loop-number -> problem-size overrides (tests use this).
         observe: record a span trace and write a durable run manifest
             under the cache root; returned as ``run.manifest``.
+        backend: fast-path backend for sweep-shaped cell groups
+            (``"auto"`` -- the batch backend -- or ``"python"`` /
+            ``"batch"`` explicitly); results are bit-identical either
+            way, only timing changes.
         plan_overrides: table-specific sweep parameters (``stations``,
             ``ruu_sizes``, ``units``).
 
@@ -169,7 +188,9 @@ def run_table(
     """
     plan = build_plan(table_id, sizes, **plan_overrides)
     store = DiskCache() if cache else None
-    outcome = run_plan(plan, workers=workers, cache=store, observe=observe)
+    outcome = run_plan(
+        plan, workers=workers, cache=store, observe=observe, backend=backend
+    )
     reference = PAPER_TABLES.get(table_id) if compare else None
     return TableRun(
         table=outcome.table,
@@ -414,6 +435,7 @@ def bench_options(
     rounds: Optional[int] = None,
     machines: Optional[Sequence[str]] = None,
     no_engine: bool = False,
+    backend: str = "auto",
 ) -> BenchOptions:
     """Suite options: the quick/full preset plus explicit overrides."""
     return _bench_options_from(
@@ -423,6 +445,7 @@ def bench_options(
         rounds=rounds,
         machines=tuple(machines) if machines is not None else None,
         no_engine=no_engine,
+        backend=backend,
     )
 
 
@@ -458,12 +481,193 @@ def compare_bench(
 
 
 # ----------------------------------------------------------------------
+# Machine specs and sweeps
+# ----------------------------------------------------------------------
+
+def parse_spec(spec: str) -> ParsedSpec:
+    """Validate and normalise a machine spec string.
+
+    Returns the :class:`~repro.core.registry.ParsedSpec` (lower-cased
+    head plus parameter tuple) the registry itself uses, after checking
+    the spec actually builds; *every* rejected spec -- unknown head or
+    malformed parameters -- raises :class:`UnknownSpecError`.  The CLI's
+    spec-taking subcommands (``simulate``, ``verify``, ``bench``,
+    ``sweep``) all validate through here, so they fail fast with the
+    same message before any expensive work starts.
+    """
+    parsed = _parse_spec_string(spec)
+    build_simulator(spec)
+    return parsed
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """Everything the registry knows about one machine spec."""
+
+    #: The normalised spec string (lower-cased, whitespace-stripped).
+    spec: str
+    head: str
+    params: Tuple[str, ...]
+    #: The simulator class the spec builds.
+    machine: str
+    #: Compiled fast-path family (``"scoreboard"``, ``"ooo"``, ...) or
+    #: ``None`` for machines that always run their reference loop.
+    family: Optional[str]
+    #: Whether the fast-path backends can ever serve this machine.
+    fast_path: bool
+
+
+def machine_info(spec: str) -> MachineInfo:
+    """Describe a machine spec: class, fast-path family, normalised form.
+
+    Raises :class:`UnknownSpecError` for any rejected spec.
+    """
+    parsed = _parse_spec_string(spec)
+    simulator = build_simulator(spec)
+    family = fastpath.family_of(simulator)
+    if family == "ruu" and simulator.predictor_factory is not None:
+        family = None
+    return MachineInfo(
+        spec=":".join((parsed.head,) + parsed.params),
+        head=parsed.head,
+        params=parsed.params,
+        machine=type(simulator).__name__,
+        family=family,
+        fast_path=family is not None,
+    )
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One finished :func:`run_sweep`: every replay plus the aggregates.
+
+    ``results[spec]`` holds one :class:`SimulationResult` per trace, in
+    trace order; ``rates[spec]`` is the harmonic mean of the per-trace
+    issue rates (instructions per cycle), the paper's aggregate.
+    ``manifest`` is shared across the whole sweep: the specs, traces,
+    backend, wall time and the fast-path counter deltas attributing the
+    replays to the backend that served them.
+    """
+
+    specs: Tuple[str, ...]
+    config: str
+    backend: str
+    results: Mapping[str, Tuple[SimulationResult, ...]]
+    rates: Mapping[str, float]
+    manifest: Mapping[str, object]
+
+    def render(self) -> str:
+        """A small fixed-width report: one line per spec."""
+        lines = [
+            f"sweep: {len(self.specs)} machines x "
+            f"{len(self.manifest['traces'])} traces on {self.config} "
+            f"(backend {self.backend})"
+        ]
+        for spec in self.specs:
+            lines.append(f"  {spec:<16} rate {self.rates[spec]:.3f}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    specs: Sequence[str],
+    traces: Sequence,
+    *,
+    config: str = "M11BR5",
+    backend: str = "auto",
+) -> SweepRun:
+    """Replay a set of traces through a set of machine specs as sweeps.
+
+    The sweep-shaped entry point: each trace is lowered once and
+    replayed through *every* spec in one pass of the selected fast-path
+    backend (``"auto"`` resolves to the batch structure-of-arrays
+    backend; ``"python"`` forces per-spec compiled loops).  Machines
+    without a compiled loop -- and every machine when the fast path is
+    disabled -- run their reference loops; results are bit-identical
+    across backends either way.
+
+    Args:
+        specs: registry spec strings; every spec is validated up front
+            and an :class:`UnknownSpecError` names the first bad one.
+        traces: :class:`~repro.trace.Trace` objects, or Livermore kernel
+            numbers (ints) to build at their default sizes.
+        config: machine-variant name (``M11BR5`` ...).
+        backend: ``"auto"`` | ``"python"`` | ``"batch"``.
+
+    Returns:
+        A :class:`SweepRun` with per-(spec, trace) results, per-spec
+        harmonic-mean rates, and one shared manifest.
+    """
+    import time as _time
+
+    spec_list = tuple(specs)
+    for spec in spec_list:
+        parse_spec(spec)
+    fastpath.resolve_backend(backend)  # fail fast on unknown backends
+    machine_config = config_by_name(config)
+    simulators = [build_simulator(spec) for spec in spec_list]
+    resolved: List[Trace] = [
+        item if isinstance(item, Trace) else _kernel(item, None).trace()
+        for item in traces
+    ]
+
+    stats_before = fastpath.stats()
+    start = _time.perf_counter()
+    per_spec: Dict[str, List[SimulationResult]] = {
+        spec: [] for spec in spec_list
+    }
+    for trace in resolved:
+        swept = fastpath.simulate_sweep(
+            trace,
+            [(simulator, machine_config) for simulator in simulators],
+            backend=backend,
+        )
+        for spec, result in zip(spec_list, swept):
+            per_spec[spec].append(result)
+    wall = _time.perf_counter() - start
+    stats_after = fastpath.stats()
+
+    rates = {
+        spec: harmonic_mean(
+            [r.instructions / r.cycles for r in results]
+        )
+        for spec, results in per_spec.items()
+    }
+    manifest = {
+        "specs": list(spec_list),
+        "traces": [trace.name for trace in resolved],
+        "config": config,
+        "backend": backend,
+        "wall_seconds": wall,
+        "fastpath": {
+            key: stats_after[key] - stats_before.get(key, 0)
+            for key in stats_after
+            if stats_after[key] - stats_before.get(key, 0)
+        },
+    }
+    return SweepRun(
+        specs=spec_list,
+        config=config,
+        backend=backend,
+        results={
+            spec: tuple(results) for spec, results in per_spec.items()
+        },
+        rates=rates,
+        manifest=manifest,
+    )
+
+
+# ----------------------------------------------------------------------
 # Introspection
 # ----------------------------------------------------------------------
 
 def list_machines() -> Tuple[str, ...]:
     """Every accepted machine spec: fixed names plus templates."""
     return list_specs()
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Registered fast-path backend names (``batch``, ``python``)."""
+    return fastpath.list_backends()
 
 
 def machine_spec_help() -> str:

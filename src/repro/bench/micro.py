@@ -81,6 +81,9 @@ class BenchOptions:
     # RUU, so its wall time tracks the dynamic machines' compiled loops.
     tables: Tuple[str, ...] = ("table1", "table7")
     engine: bool = True
+    #: Fast-path backend the engine benchmarks run through ("auto"
+    #: resolves to batch); the sweep suite always measures both.
+    backend: str = "auto"
 
 
 DEFAULT_OPTIONS = BenchOptions()
@@ -153,6 +156,73 @@ def _bench_machines(options: BenchOptions, report: BenchReport, log: Log):
             )
 
 
+#: The sweep benchmark's machine: the paper's four-unit out-of-order
+#: multi-issue organisation (the Table 5 family), replayed through all
+#: four machine-variant configs as one sweep.
+SWEEP_SPEC = "ooo:4"
+
+
+def _bench_sweep(options: BenchOptions, report: BenchReport, log: Log):
+    """``sweep.<spec>.{batch,perspec,speedup}``: one trace, many configs.
+
+    Replays every fuzzed trace through :data:`SWEEP_SPEC` under all four
+    standard configs -- once through the batch structure-of-arrays
+    backend (one pass per trace) and once through the per-spec python
+    backend (four passes per trace) -- and reports both throughputs plus
+    their ratio.  Cycle counts are asserted identical between the two
+    backends before any timing.
+    """
+    from ..core.config import STANDARD_CONFIGS
+
+    spec_shape = FuzzSpec(length=options.trace_length)
+    traces = [fuzz_trace(seed, spec_shape) for seed in range(options.seeds)]
+    items = [
+        (build_simulator(SWEEP_SPEC), config) for config in STANDARD_CONFIGS
+    ]
+    total = sum(len(trace) for trace in traces) * len(items)
+
+    def sweep_pass(backend: str) -> List[List[int]]:
+        cycles: List[List[int]] = []
+        for trace in traces:
+            results = fastpath.simulate_sweep(trace, items, backend=backend)
+            cycles.append([result.cycles for result in results])
+        return cycles
+
+    # Correctness gate plus warm-up: the batch backend must agree with
+    # the per-spec loops on every (trace, config) cell, and both passes
+    # populate the compile and sweep-plan caches so timing measures
+    # replay, not lowering.
+    batch_cycles = sweep_pass("batch")
+    perspec_cycles = sweep_pass("python")
+    if batch_cycles != perspec_cycles:
+        raise ValueError(
+            f"batch backend diverged from per-spec loops on {SWEEP_SPEC} "
+            "-- refusing to benchmark a wrong answer"
+        )
+
+    batch_times: List[float] = []
+    perspec_times: List[float] = []
+    for _ in range(options.rounds):
+        start = time.perf_counter()
+        sweep_pass("batch")
+        batch_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        sweep_pass("python")
+        perspec_times.append(time.perf_counter() - start)
+
+    batch = total / min(batch_times)
+    perspec = total / min(perspec_times)
+    report.add(f"sweep.{SWEEP_SPEC}.batch", batch, "instr/s")
+    report.add(f"sweep.{SWEEP_SPEC}.perspec", perspec, "instr/s")
+    report.add(f"sweep.{SWEEP_SPEC}.speedup", batch / perspec, "x")
+    if log:
+        log(
+            f"  sweep.{SWEEP_SPEC:<16} batch {batch:>12,.0f} instr/s  "
+            f"perspec {perspec:>12,.0f} instr/s  "
+            f"speedup {batch / perspec:.2f}x"
+        )
+
+
 def _bench_tables(options: BenchOptions, report: BenchReport, log: Log):
     sizes = dict(SMALL_SIZES)
     for table_id in options.tables:
@@ -160,7 +230,7 @@ def _bench_tables(options: BenchOptions, report: BenchReport, log: Log):
         for _ in range(options.rounds):
             start = time.perf_counter()
             plan = build_plan(table_id, sizes)
-            run_plan(plan, workers=1, cache=None)
+            run_plan(plan, workers=1, cache=None, backend=options.backend)
             times.append(time.perf_counter() - start)
         wall = min(times)
         report.add(
@@ -180,10 +250,12 @@ def _bench_engine(options: BenchOptions, report: BenchReport, log: Log):
             with tempfile.TemporaryDirectory() as tmp:
                 store = DiskCache(root=tmp)
                 start = time.perf_counter()
-                run_plan(plan, workers=1, cache=store)
+                run_plan(plan, workers=1, cache=store,
+                         backend=options.backend)
                 cold_times.append(time.perf_counter() - start)
                 start = time.perf_counter()
-                run_plan(plan, workers=1, cache=store)
+                run_plan(plan, workers=1, cache=store,
+                         backend=options.backend)
                 warm_times.append(time.perf_counter() - start)
         cold, warm = min(cold_times), min(warm_times)
         report.add(
@@ -224,6 +296,7 @@ def run_suite(
             "machines": list(options.machines),
             "config": options.config,
             "tables": list(options.tables),
+            "backend": options.backend,
         },
     )
     previous = fastpath.set_enabled(True)
@@ -233,6 +306,7 @@ def run_suite(
                 f"{options.seeds} traces x {options.trace_length} instrs, "
                 f"min of {options.rounds} rounds")
         _bench_machines(options, report, log)
+        _bench_sweep(options, report, log)
         if options.tables:
             _bench_tables(options, report, log)
         if options.engine and options.tables:
@@ -250,6 +324,7 @@ def options_from(
     rounds: Optional[int] = None,
     machines: Optional[Tuple[str, ...]] = None,
     no_engine: bool = False,
+    backend: str = "auto",
 ) -> BenchOptions:
     """The CLI's option builder: quick preset plus explicit overrides."""
     options = QUICK_OPTIONS if quick else DEFAULT_OPTIONS
@@ -264,4 +339,6 @@ def options_from(
         overrides["machines"] = tuple(machines)
     if no_engine:
         overrides["engine"] = False
+    if backend != "auto":
+        overrides["backend"] = backend
     return replace(options, **overrides) if overrides else options

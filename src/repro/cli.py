@@ -117,6 +117,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip recording the run trace and manifest",
     )
+    tables.add_argument(
+        "--backend",
+        choices=("auto", "python", "batch"),
+        default="auto",
+        help=(
+            "fast-path backend for sweep-shaped cell groups (auto = "
+            "batch structure-of-arrays; results are identical either way)"
+        ),
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="replay kernels through many machines in one batched pass",
+    )
+    sweep.add_argument(
+        "--machines",
+        nargs="+",
+        required=True,
+        metavar="SPEC",
+        help=f"machine specs to sweep ({api.machine_spec_help()})",
+    )
+    sweep.add_argument(
+        "--kernels",
+        nargs="+",
+        type=int,
+        default=None,
+        choices=ALL_LOOPS,
+        metavar="LOOP",
+        help="Livermore loop numbers (default: all)",
+    )
+    sweep.add_argument("--config", default="M11BR5")
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "python", "batch"),
+        default="auto",
+        help="fast-path backend (auto = batch)",
+    )
 
     simulate = sub.add_parser("simulate", help="time one kernel on one machine")
     _add_kernel_arguments(simulate)
@@ -138,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_kernel_arguments(stats, required=False)
+    stats.add_argument(
+        "--machine",
+        default=None,
+        metavar="SPEC",
+        help="describe one machine spec (class, fast-path family) and exit",
+    )
     stats.add_argument(
         "--run",
         default=None,
@@ -298,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the engine cold/warm cache benchmarks",
     )
     bench.add_argument(
+        "--backend",
+        choices=("auto", "python", "batch"),
+        default="auto",
+        help="fast-path backend for the engine and sweep benchmarks",
+    )
+    bench.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-benchmark progress lines",
@@ -313,6 +362,7 @@ def run_tables(
     workers: Optional[int] = None,
     cache: bool = True,
     observe: bool = True,
+    backend: str = "auto",
 ) -> int:
     """The ``tables`` subcommand: print tables (or the section 3.3 quote)."""
     if table == "section33":
@@ -334,6 +384,7 @@ def run_tables(
             workers=workers,
             cache=cache,
             observe=observe,
+            backend=backend,
         )
         print(run.render_report(compare=compare))
         print()
@@ -384,6 +435,23 @@ def _render_run_detail(manifest, *, top: int = 10) -> str:
         f"({manifest.counter('fastpath.cache_hits'):.0f} trace-cache hits, "
         f"{manifest.counter('fastpath.evictions'):.0f} evictions)"
     )
+    backend_parts = []
+    for backend, keys in (
+        ("python", ("fast_runs",)),
+        ("batch", ("fast_runs", "sweeps", "fallback_runs")),
+    ):
+        counts = {
+            key: manifest.counter(f"fastpath.{backend}.{key}") for key in keys
+        }
+        if any(counts.values()):
+            detail = ", ".join(
+                f"{value:.0f} {key.replace('_', ' ')}"
+                for key, value in counts.items()
+                if value
+            )
+            backend_parts.append(f"{backend}: {detail}")
+    if backend_parts:
+        lines.append("  fast-path backends: " + "; ".join(backend_parts))
     utilization = manifest.worker_utilization
     if utilization:
         shares = ", ".join(
@@ -399,6 +467,43 @@ def _render_run_detail(manifest, *, top: int = 10) -> str:
                 f"pid {cell['pid']}"
             )
     return "\n".join(lines)
+
+
+def run_machine_info(spec: str) -> int:
+    """``stats --machine``: describe one spec through the registry."""
+    info = api.machine_info(spec)  # raises UnknownSpecError -> exit 2
+    print(f"spec:      {info.spec}")
+    print(f"machine:   {info.machine}")
+    if info.params:
+        print(f"params:    {', '.join(info.params)}")
+    if info.fast_path:
+        print(f"fast path: yes (compiled family '{info.family}'; "
+              f"backends: {', '.join(api.list_backends())})")
+    else:
+        print("fast path: no (always runs its reference loop)")
+    return 0
+
+
+def run_sweep_cmd(args) -> int:
+    """The ``sweep`` subcommand: batched multi-machine replay."""
+    for spec in args.machines:
+        api.parse_spec(spec)  # raises UnknownSpecError -> exit 2
+    kernels = args.kernels if args.kernels else list(ALL_LOOPS)
+    run = api.run_sweep(
+        args.machines, kernels, config=args.config, backend=args.backend
+    )
+    print(run.render())
+    fastpath = run.manifest.get("fastpath", {})
+    swept = fastpath.get("batch.sweeps", 0)
+    fallback = fastpath.get("batch.fallback_runs", 0)
+    if swept or fallback:
+        print(
+            f"  [{fastpath.get('fast_runs', 0)} fast replays via "
+            f"{swept} batched sweeps"
+            + (f"; {fallback} per-spec fallbacks" if fallback else "")
+            + f"; {run.manifest['wall_seconds']:.3f}s]"
+        )
+    return 0
 
 
 def run_stats(run_id: Optional[str], limit: int) -> int:
@@ -466,6 +571,8 @@ def run_verify(args) -> int:
         _set_pending_exit(1)
         print(message)
 
+    for spec in args.machines or ():
+        api.parse_spec(spec)  # raises UnknownSpecError -> exit 2
     log = None if args.quiet else report_failure
     try:
         report = api.verify_machines(
@@ -506,6 +613,8 @@ def run_verify(args) -> int:
 def run_bench(args) -> int:
     """The ``bench`` subcommand: run the suite, persist, compare."""
     log = None if args.quiet else print
+    for spec in args.machines or ():
+        api.parse_spec(spec)  # raises UnknownSpecError -> exit 2
     try:
         options = api.bench_options(
             quick=args.quick,
@@ -514,6 +623,7 @@ def run_bench(args) -> int:
             rounds=args.rounds,
             machines=args.machines,
             no_engine=args.no_engine,
+            backend=args.backend,
         )
     except TypeError as exc:  # pragma: no cover - argparse guards types
         print(f"error: {exc}", file=sys.stderr)
@@ -608,7 +718,11 @@ def _dispatch(args) -> int:
             workers=args.workers,
             cache=not args.no_cache,
             observe=not args.no_observe,
+            backend=args.backend,
         )
+
+    if args.command == "sweep":
+        return run_sweep_cmd(args)
 
     if args.command == "trace-export":
         return run_trace_export(args.run, args.format, args.out)
@@ -633,6 +747,8 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "stats":
+        if args.machine is not None:
+            return run_machine_info(args.machine)
         if args.kernel is None:
             return run_stats(args.run, args.limit)
         kwargs = _kernel_kwargs(args)

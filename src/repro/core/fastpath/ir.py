@@ -1,0 +1,198 @@
+"""The compiled trace IR: per-trace lowering shared by every backend.
+
+The reference simulators spend most of their wall time in
+per-instruction Python object churn: property chains
+(``entry.instruction.unit`` walks two dataclasses and an enum),
+``Instruction.source_registers`` building fresh tuples with
+``isinstance`` filtering, ``latency()`` method calls, and scoreboard
+dictionaries keyed by frozen-dataclass :class:`~repro.isa.registers.Register`
+objects whose ``__hash__`` is recomputed on every lookup.  None of that
+work depends on the cycle being modelled -- it is the same for every
+replay of the same trace.
+
+:func:`compile_trace` therefore lowers a :class:`~repro.trace.Trace`
+once into flat parallel tuples of small integers -- functional-unit
+index, destination/source register ids, branch/vector/bus flags, vector
+length -- resolved a single time up front and cached per trace object.
+Backends (:mod:`repro.core.fastpath.backends`) replay the compiled form
+with whatever evaluation strategy they implement; the lowering itself is
+machine- and config-independent, so one compilation serves every machine
+variant and every backend.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...isa.functional_units import FunctionalUnit
+from ...isa.registers import RegFile
+from ...trace import Trace
+from ..config import MachineConfig
+
+__all__ = [
+    "CompiledTrace",
+    "N_REGISTERS",
+    "Op",
+    "Schedule",
+    "UNITS",
+    "compile_trace",
+]
+
+# ----------------------------------------------------------------------
+# Dense id spaces: registers and functional units
+# ----------------------------------------------------------------------
+
+#: Functional units in enum order; a unit's id is its position here.
+UNITS: Tuple[FunctionalUnit, ...] = tuple(FunctionalUnit)
+_UNIT_INDEX: Dict[FunctionalUnit, int] = {u: i for i, u in enumerate(UNITS)}
+_MEMORY = _UNIT_INDEX[FunctionalUnit.MEMORY]
+_BRANCH = _UNIT_INDEX[FunctionalUnit.BRANCH]
+
+#: file -> first register id, packing every architectural register into
+#: one dense 0..N_REGISTERS-1 space (A, S, B, T, V, L in enum order).
+_FILE_OFFSETS: Dict[RegFile, int] = {}
+_offset = 0
+for _file in RegFile:
+    _FILE_OFFSETS[_file] = _offset
+    _offset += _file.size
+N_REGISTERS = _offset
+del _offset, _file
+
+#: Dense id of A0, the register conditional branches test.
+_A0 = _FILE_OFFSETS[RegFile.A]
+
+#: Sentinel for "availability not yet known" (matches the RUU/Tomasulo
+#: reference loops) and livelock guard, shared by the windowed fast loops.
+_UNKNOWN = -1
+_MAX_CYCLES = 10_000_000
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+#: One lowered trace entry:
+#: ``(unit, dest, srcs, is_branch, taken, is_vector, vl, uses_bus, is_cond)``
+#: where ``unit`` indexes :data:`UNITS`, ``dest`` is a register id or
+#: -1, ``srcs`` is a tuple of register ids (implicit vector-length reads
+#: included), ``uses_bus`` mirrors the scoreboard's result-bus test
+#: (scalar A/B/S/T destination), and ``is_cond`` marks conditional
+#: branches (which wait on an A0 instance in the RUU/Tomasulo machines;
+#: unconditional branches resolve without reading a register).
+Op = Tuple[int, int, Tuple[int, ...], bool, bool, bool, int, bool, bool]
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A trace lowered to flat per-instruction integer tuples.
+
+    Machine- and config-independent: latencies and pipelining are
+    resolved per :class:`~repro.core.config.MachineConfig` at simulation
+    time from 12-entry per-unit tables, so one compilation serves every
+    machine variant.
+    """
+
+    name: str
+    n: int
+    ops: Tuple[Op, ...]
+    has_vector: bool
+
+
+#: Compile results keyed by ``id(trace)``; the paired weak reference
+#: both validates the key (id reuse after garbage collection) and evicts
+#: the entry when the trace dies.
+_CACHE: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
+
+#: Compile-cache counters; backend run counters live in
+#: :mod:`repro.core.fastpath.backends` (the combined view is
+#: ``fastpath.stats()``).
+_STATS = {
+    "compiles": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "evictions": 0,
+}
+
+
+def reset_compile_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Lower *trace* to flat integer tuples (cached per trace object)."""
+    key = id(trace)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0]() is trace:
+        _STATS["cache_hits"] += 1
+        return hit[1]
+    _STATS["cache_misses"] += 1
+
+    file_offsets = _FILE_OFFSETS
+    unit_index = _UNIT_INDEX
+    ops: List[Op] = []
+    has_vector = False
+    for entry in trace.entries:
+        instr = entry.instruction
+        unit = unit_index[instr.unit]
+        dest = instr.dest
+        if dest is None:
+            dest_id = -1
+            uses_bus = False
+        else:
+            dest_id = file_offsets[dest.file] + dest.index
+            uses_bus = dest.is_address or dest.is_scalar
+        srcs = tuple(
+            file_offsets[src.file] + src.index
+            for src in instr.source_registers
+        )
+        is_vector = instr.is_vector
+        if is_vector:
+            has_vector = True
+            uses_bus = False
+            vl = entry.vector_length or 0
+        else:
+            vl = 0
+        is_branch = instr.is_branch
+        taken = bool(entry.taken) if is_branch else False
+        is_cond = instr.is_conditional_branch if is_branch else False
+        ops.append(
+            (unit, dest_id, srcs, is_branch, taken, is_vector, vl, uses_bus,
+             is_cond)
+        )
+
+    compiled = CompiledTrace(
+        name=trace.name, n=len(ops), ops=tuple(ops), has_vector=has_vector
+    )
+    _STATS["compiles"] += 1
+
+    def _evict(_ref: object, _key: int = key) -> None:
+        if _CACHE.pop(_key, None) is not None:
+            _STATS["evictions"] += 1
+
+    _CACHE[key] = (weakref.ref(trace, _evict), compiled)
+    return compiled
+
+
+def _unit_tables(
+    config: MachineConfig, fu_pipelined: bool, memory_interleaved: bool
+) -> Tuple[List[int], List[bool]]:
+    """Per-unit latency and pipelining tables for one (machine, config)."""
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    pipelined = []
+    for index, latency in enumerate(latencies):
+        if index == _MEMORY:
+            pipelined.append(memory_interleaved)
+        elif index == _BRANCH:
+            pipelined.append(True)  # branch spacing is modelled separately
+        else:
+            pipelined.append(fu_pipelined or latency <= 1)
+    return latencies, pipelined
+
+
+#: Per-instruction (issue, complete) pairs, matching the cycles an
+#: ``on_event`` subscriber of the reference path would observe.
+Schedule = List[Tuple[int, int]]

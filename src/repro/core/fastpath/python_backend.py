@@ -1,26 +1,11 @@
-"""Fast replay path: per-trace precompilation + flat-integer inner loops.
+"""The ``python`` backend: the original per-spec compiled loops.
 
-The reference simulators (:mod:`repro.core.scoreboard`,
-:mod:`repro.core.inorder_multi`) spend most of their wall time in
-per-instruction Python object churn: property chains
-(``entry.instruction.unit`` walks two dataclasses and an enum),
-``Instruction.source_registers`` building fresh tuples with
-``isinstance`` filtering, ``latency()`` method calls, and scoreboard
-dictionaries keyed by frozen-dataclass :class:`~repro.isa.registers.Register`
-objects whose ``__hash__`` is recomputed on every lookup.  None of that
-work depends on the cycle being modelled -- it is the same for every
-replay of the same trace.
-
-:func:`compile_trace` therefore lowers a :class:`~repro.trace.Trace`
-once into flat parallel tuples of small integers -- functional-unit
-index, destination/source register ids, branch/vector/bus flags, vector
-length -- resolved a single time up front and cached per trace object.
-The rewritten inner loops (:func:`simulate_scoreboard_fast`,
-:func:`simulate_inorder_fast`) then run on integer ready-cycle arrays
+One compiled fast loop per machine family, each a bit-identical twin of
+that family's ``reference_simulate``: state held in flat integer arrays
 (one ``int`` slot per architectural register and per functional unit)
-instead of hash tables, index per-unit latency/pipelining tables built
-once per call, and keep a min-heap of outstanding completion events so
-stale result-bus reservations are pruned as the issue front passes them
+instead of hash tables, per-unit latency/pipelining tables built once
+per call, and a min-heap of outstanding completion events so stale
+result-bus reservations are pruned as the issue front passes them
 (state stays O(outstanding writes), not O(trace length)).
 
 Like the reference loops, the fast loops never scan idle cycles: both
@@ -40,224 +25,43 @@ Bit-identity is a hard invariant, enforced three ways:
   fast path against ``reference_simulate`` as an exact dual on every
   ``repro verify`` replay, including the nightly 1000-seed shards.
 
-Setting ``REPRO_FASTPATH=0`` in the environment (or calling
-:func:`set_enabled`) disables the fast path globally; the golden-table
-tests exercise both modes.
+The module-level ``simulate_*_fast`` functions remain the machines\'
+dispatch targets; :class:`PythonBackend` wraps them behind the backend
+interface (:mod:`repro.core.fastpath.backends`) so sweep-shaped callers
+can select per-spec replay explicitly (``backend="python"``).
 """
 
 from __future__ import annotations
 
-import os
-import weakref
-from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
-from ..isa.functional_units import FunctionalUnit
-from ..isa.registers import RegFile
-from ..trace import Trace
-from .buses import BusKind
-from .config import MachineConfig
-from .result import SimulationResult
+from ...trace import Trace
+from ..buses import BusKind
+from ..config import MachineConfig
+from ..result import SimulationResult
+from .backends import Backend, count_run, family_of, register_backend
+from .ir import (
+    N_REGISTERS,
+    Schedule,
+    UNITS,
+    _A0,
+    _MAX_CYCLES,
+    _MEMORY,
+    _UNKNOWN,
+    _unit_tables,
+    compile_trace,
+)
 
 __all__ = [
-    "CompiledTrace",
-    "compile_trace",
-    "enabled",
-    "reset_stats",
-    "set_enabled",
+    "PythonBackend",
     "simulate_cdc6600_fast",
     "simulate_inorder_fast",
     "simulate_ooo_fast",
     "simulate_ruu_fast",
     "simulate_scoreboard_fast",
     "simulate_tomasulo_fast",
-    "stats",
 ]
-
-# ----------------------------------------------------------------------
-# Dense id spaces: registers and functional units
-# ----------------------------------------------------------------------
-
-#: Functional units in enum order; a unit's id is its position here.
-UNITS: Tuple[FunctionalUnit, ...] = tuple(FunctionalUnit)
-_UNIT_INDEX: Dict[FunctionalUnit, int] = {u: i for i, u in enumerate(UNITS)}
-_MEMORY = _UNIT_INDEX[FunctionalUnit.MEMORY]
-_BRANCH = _UNIT_INDEX[FunctionalUnit.BRANCH]
-
-#: file -> first register id, packing every architectural register into
-#: one dense 0..N_REGISTERS-1 space (A, S, B, T, V, L in enum order).
-_FILE_OFFSETS: Dict[RegFile, int] = {}
-_offset = 0
-for _file in RegFile:
-    _FILE_OFFSETS[_file] = _offset
-    _offset += _file.size
-N_REGISTERS = _offset
-del _offset, _file
-
-#: Dense id of A0, the register conditional branches test.
-_A0 = _FILE_OFFSETS[RegFile.A]
-
-#: Sentinel for "availability not yet known" (matches the RUU/Tomasulo
-#: reference loops) and livelock guard, shared by the windowed fast loops.
-_UNKNOWN = -1
-_MAX_CYCLES = 10_000_000
-
-
-# ----------------------------------------------------------------------
-# Compilation
-# ----------------------------------------------------------------------
-
-#: One lowered trace entry:
-#: ``(unit, dest, srcs, is_branch, taken, is_vector, vl, uses_bus, is_cond)``
-#: where ``unit`` indexes :data:`UNITS`, ``dest`` is a register id or
-#: -1, ``srcs`` is a tuple of register ids (implicit vector-length reads
-#: included), ``uses_bus`` mirrors the scoreboard's result-bus test
-#: (scalar A/B/S/T destination), and ``is_cond`` marks conditional
-#: branches (which wait on an A0 instance in the RUU/Tomasulo machines;
-#: unconditional branches resolve without reading a register).
-Op = Tuple[int, int, Tuple[int, ...], bool, bool, bool, int, bool, bool]
-
-
-@dataclass(frozen=True)
-class CompiledTrace:
-    """A trace lowered to flat per-instruction integer tuples.
-
-    Machine- and config-independent: latencies and pipelining are
-    resolved per :class:`~repro.core.config.MachineConfig` at simulation
-    time from 12-entry per-unit tables, so one compilation serves every
-    machine variant.
-    """
-
-    name: str
-    n: int
-    ops: Tuple[Op, ...]
-    has_vector: bool
-
-
-#: Compile results keyed by ``id(trace)``; the paired weak reference
-#: both validates the key (id reuse after garbage collection) and evicts
-#: the entry when the trace dies.
-_CACHE: Dict[int, Tuple["weakref.ref[Trace]", CompiledTrace]] = {}
-
-_STATS = {
-    "compiles": 0,
-    "cache_hits": 0,
-    "cache_misses": 0,
-    "evictions": 0,
-    "fast_runs": 0,
-}
-
-_ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
-
-
-def enabled() -> bool:
-    """Is fast-path auto-selection on? (``REPRO_FASTPATH=0`` disables.)"""
-    return _ENABLED
-
-
-def set_enabled(value: bool) -> bool:
-    """Toggle fast-path auto-selection; returns the previous setting."""
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(value)
-    return previous
-
-
-def stats() -> Dict[str, int]:
-    """Compile-cache and dispatch counters.
-
-    ``compiles`` / ``cache_hits`` / ``cache_misses`` / ``evictions``
-    describe the per-trace compile cache (every miss compiles, so
-    ``cache_misses == compiles`` unless the counters were reset between
-    the two events; ``evictions`` counts entries dropped by the weak
-    reference when their trace was garbage-collected), and ``fast_runs``
-    counts fast-loop invocations.
-    """
-    return dict(_STATS)
-
-
-def reset_stats() -> None:
-    """Zero the counters (tests and benchmarks use this)."""
-    for key in _STATS:
-        _STATS[key] = 0
-
-
-def compile_trace(trace: Trace) -> CompiledTrace:
-    """Lower *trace* to flat integer tuples (cached per trace object)."""
-    key = id(trace)
-    hit = _CACHE.get(key)
-    if hit is not None and hit[0]() is trace:
-        _STATS["cache_hits"] += 1
-        return hit[1]
-    _STATS["cache_misses"] += 1
-
-    file_offsets = _FILE_OFFSETS
-    unit_index = _UNIT_INDEX
-    ops: List[Op] = []
-    has_vector = False
-    for entry in trace.entries:
-        instr = entry.instruction
-        unit = unit_index[instr.unit]
-        dest = instr.dest
-        if dest is None:
-            dest_id = -1
-            uses_bus = False
-        else:
-            dest_id = file_offsets[dest.file] + dest.index
-            uses_bus = dest.is_address or dest.is_scalar
-        srcs = tuple(
-            file_offsets[src.file] + src.index
-            for src in instr.source_registers
-        )
-        is_vector = instr.is_vector
-        if is_vector:
-            has_vector = True
-            uses_bus = False
-            vl = entry.vector_length or 0
-        else:
-            vl = 0
-        is_branch = instr.is_branch
-        taken = bool(entry.taken) if is_branch else False
-        is_cond = instr.is_conditional_branch if is_branch else False
-        ops.append(
-            (unit, dest_id, srcs, is_branch, taken, is_vector, vl, uses_bus,
-             is_cond)
-        )
-
-    compiled = CompiledTrace(
-        name=trace.name, n=len(ops), ops=tuple(ops), has_vector=has_vector
-    )
-    _STATS["compiles"] += 1
-
-    def _evict(_ref: object, _key: int = key) -> None:
-        if _CACHE.pop(_key, None) is not None:
-            _STATS["evictions"] += 1
-
-    _CACHE[key] = (weakref.ref(trace, _evict), compiled)
-    return compiled
-
-
-def _unit_tables(
-    config: MachineConfig, fu_pipelined: bool, memory_interleaved: bool
-) -> Tuple[List[int], List[bool]]:
-    """Per-unit latency and pipelining tables for one (machine, config)."""
-    table = config.latencies
-    latencies = [table.latency(unit) for unit in UNITS]
-    pipelined = []
-    for index, latency in enumerate(latencies):
-        if index == _MEMORY:
-            pipelined.append(memory_interleaved)
-        elif index == _BRANCH:
-            pipelined.append(True)  # branch spacing is modelled separately
-        else:
-            pipelined.append(fu_pipelined or latency <= 1)
-    return latencies, pipelined
-
-
-#: Per-instruction (issue, complete) pairs, matching the cycles an
-#: ``on_event`` subscriber of the reference path would observe.
-Schedule = List[Tuple[int, int]]
 
 
 # ----------------------------------------------------------------------
@@ -279,7 +83,7 @@ def simulate_scoreboard_fast(
     path's event stream reports (differential tests compare them).
     """
     compiled = compile_trace(trace)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     latencies, pipelined = _unit_tables(
         config, machine.fu_pipelined, machine.memory_interleaved
     )
@@ -382,10 +186,10 @@ def simulate_inorder_fast(
     """
     compiled = compile_trace(trace)
     if compiled.has_vector:
-        from .base import scalar_only_error
+        from ..base import scalar_only_error
 
         raise scalar_only_error(machine.name)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     latencies, _ = _unit_tables(config, True, True)
     branch_latency = config.branch_latency
     units = machine.issue_units
@@ -513,10 +317,10 @@ def simulate_cdc6600_fast(
     """
     compiled = compile_trace(trace)
     if compiled.has_vector:
-        from .base import scalar_only_error
+        from ..base import scalar_only_error
 
         raise scalar_only_error(machine.name)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     table = config.latencies
     latencies = [table.latency(unit) for unit in UNITS]
     branch_latency = config.branch_latency
@@ -605,10 +409,10 @@ def simulate_tomasulo_fast(
     """
     compiled = compile_trace(trace)
     if compiled.has_vector:
-        from .base import scalar_only_error
+        from ..base import scalar_only_error
 
         raise scalar_only_error(machine.name)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     table = config.latencies
     latencies = [table.latency(unit) for unit in UNITS]
     branch_latency = config.branch_latency
@@ -826,10 +630,10 @@ def simulate_ruu_fast(
     """
     compiled = compile_trace(trace)
     if compiled.has_vector:
-        from .base import scalar_only_error
+        from ..base import scalar_only_error
 
         raise scalar_only_error(machine.name)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     table = config.latencies
     latencies = [table.latency(unit) for unit in UNITS]
     branch_latency = config.branch_latency
@@ -1108,10 +912,10 @@ def simulate_ooo_fast(
     """
     compiled = compile_trace(trace)
     if compiled.has_vector:
-        from .base import scalar_only_error
+        from ..base import scalar_only_error
 
         raise scalar_only_error(machine.name)
-    _STATS["fast_runs"] += 1
+    count_run("python", "fast_runs")
     table = config.latencies
     latencies = [table.latency(unit) for unit in UNITS]
     branch_latency = config.branch_latency
@@ -1338,3 +1142,47 @@ def simulate_ooo_fast(
         instructions=n_entries,
         cycles=max(last_event, 1),
     )
+
+
+# ----------------------------------------------------------------------
+# The backend wrapper
+# ----------------------------------------------------------------------
+
+class PythonBackend(Backend):
+    """Per-spec replay: each (machine, config) runs its own fast loop."""
+
+    name = "python"
+
+    _LOOPS = None  # family -> loop, bound lazily below
+
+    def _loop_for(self, simulator):
+        family = family_of(simulator)
+        if family is None:
+            raise ValueError(
+                f"{simulator!r} has no compiled fast loop"
+            )
+        return _FAMILY_LOOPS[family]
+
+    def simulate(
+        self, simulator, trace: Trace, config: MachineConfig, record=None
+    ) -> SimulationResult:
+        return self._loop_for(simulator)(simulator, trace, config, record)
+
+    def simulate_sweep(self, trace: Trace, items) -> List[SimulationResult]:
+        compile_trace(trace)  # shared lowering, pinned by the caller
+        return [
+            self.simulate(item.simulator, trace, item.config, item.record)
+            for item in items
+        ]
+
+
+_FAMILY_LOOPS = {
+    "scoreboard": simulate_scoreboard_fast,
+    "inorder": simulate_inorder_fast,
+    "ooo": simulate_ooo_fast,
+    "ruu": simulate_ruu_fast,
+    "tomasulo": simulate_tomasulo_fast,
+    "cdc6600": simulate_cdc6600_fast,
+}
+
+register_backend(PythonBackend())

@@ -8,7 +8,7 @@ paper studies from a short specification string, e.g. ``"simple"``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .base import Simulator
 from .buses import BusKind
@@ -32,19 +32,26 @@ _BUS_NAMES = {
 
 
 class UnknownSpecError(ValueError):
-    """An unrecognised simulator specification string.
+    """An unrecognised or malformed simulator specification string.
 
-    Carries the offending spec and the accepted grammar so callers (CLI,
-    ``repro.api``) can print an actionable message instead of a bare
-    ``KeyError``/``ValueError``.
+    Carries the offending spec, the reason (for a known head with bad
+    parameters) and the accepted grammar, so callers (CLI, ``repro.api``)
+    can print an actionable message instead of a bare
+    ``KeyError``/``ValueError``.  :func:`build_simulator` raises this for
+    *every* rejected spec -- unknown heads and malformed parameters
+    alike -- so spec consumers need exactly one except clause.
     """
 
-    def __init__(self, spec: str) -> None:
+    def __init__(self, spec: str, reason: Optional[str] = None) -> None:
         self.spec = spec
+        self.reason = reason
         self.valid = available_specs()
-        super().__init__(
-            f"unknown simulator spec {spec!r}; accepted: {self.valid}"
+        detail = (
+            f"bad simulator spec {spec!r}: {reason}"
+            if reason
+            else f"unknown simulator spec {spec!r}"
         )
+        super().__init__(f"{detail}; accepted: {self.valid}")
 
 _FIXED: Dict[str, Callable[[], Simulator]] = {
     "simple": SimpleMachine,
@@ -115,7 +122,20 @@ def _parse_bus(token: str, default: BusKind) -> BusKind:
 
 
 def build_simulator(spec: str) -> Simulator:
-    """Build a simulator from a specification string (see module docstring)."""
+    """Build a simulator from a specification string (see module docstring).
+
+    Any rejected spec -- unknown head or malformed parameters -- raises
+    :class:`UnknownSpecError` (a ``ValueError`` subclass).
+    """
+    try:
+        return _build_simulator(spec)
+    except UnknownSpecError:
+        raise
+    except ValueError as exc:
+        raise UnknownSpecError(spec, reason=str(exc)) from None
+
+
+def _build_simulator(spec: str) -> Simulator:
     parsed = parse_spec(spec)
     head, parts = parsed.head, (parsed.head,) + parsed.params
 

@@ -68,14 +68,21 @@ _CACHE_METRIC_NAMES = {
     "result_corruptions": "cache.result.corruptions",
 }
 
-#: repro.core.fastpath stats key -> metric name published per cell.
-_FASTPATH_METRIC_NAMES = {
-    "fast_runs": "fastpath.fast_runs",
-    "compiles": "fastpath.compiles",
-    "cache_hits": "fastpath.cache_hits",
-    "cache_misses": "fastpath.cache_misses",
-    "evictions": "fastpath.evictions",
-}
+def _fastpath_deltas(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> Dict[str, float]:
+    """Non-zero ``fastpath.stats()`` deltas as ``fastpath.*`` metrics.
+
+    Every counter the stats expose is published -- including the
+    per-backend keys (``python.fast_runs``, ``batch.sweeps``, ...), so
+    manifests attribute fast runs to the backend that served them.
+    """
+    deltas: Dict[str, float] = {}
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        if delta:
+            deltas[f"fastpath.{key}"] = float(delta)
+    return deltas
 
 
 def default_workers() -> int:
@@ -249,11 +256,7 @@ def evaluate_cell(
                 delta = after.get(key, 0) - counters_before.get(key, 0)
                 if delta:
                     metrics[name] = float(delta)
-        fastpath_after = fastpath.stats()
-        for key, name in _FASTPATH_METRIC_NAMES.items():
-            delta = fastpath_after.get(key, 0) - fastpath_before.get(key, 0)
-            if delta:
-                metrics[name] = float(delta)
+        metrics.update(_fastpath_deltas(fastpath_before, fastpath.stats()))
         return CellOutcome(
             index=index,
             values=values,
@@ -283,11 +286,144 @@ def evaluate_cell(
     return finish(_values_from_record(cell, record), False, source)
 
 
+def evaluate_sweep(
+    group: List[Tuple[int, Cell]],
+    cache: Optional[DiskCache],
+    *,
+    backend: str = "auto",
+    enqueued: Optional[float] = None,
+) -> List[CellOutcome]:
+    """Evaluate same-trace simulator cells as one fast-path sweep.
+
+    Every cell in *group* must share ``(loop, n)`` and be a simulator
+    cell (not limits).  Cached results are honoured per cell exactly as
+    in :func:`evaluate_cell`; the remaining misses share one trace
+    resolution and one :func:`repro.core.fastpath.simulate_sweep` call
+    through *backend* -- gating is per sweep member, so a hooked or
+    fast-path-disabled member still runs its reference loop and the
+    merged table stays bit-identical to per-cell evaluation.
+
+    The group's metric deltas (fast-path counters, cache counters) ride
+    on the first miss outcome; the sweep wall time is split evenly
+    across the misses so run totals still add up.
+    """
+    started = time.monotonic()
+    start = time.perf_counter()
+    queue_wait = max(0.0, started - enqueued) if enqueued is not None else 0.0
+    outcomes: List[CellOutcome] = []
+    pending: List[Tuple[int, Cell]] = []
+    load_metrics: Dict[str, float] = {}
+    for index, cell in group:
+        lookup_before = cache.counters() if cache is not None else None
+        record = (
+            cache.load_result(cell_key(cell)) if cache is not None else None
+        )
+        lookup_delta: Dict[str, float] = {}
+        if lookup_before is not None:
+            lookup_after = cache.counters()
+            for key, name in _CACHE_METRIC_NAMES.items():
+                delta = lookup_after.get(key, 0) - lookup_before.get(key, 0)
+                if delta:
+                    lookup_delta[name] = float(delta)
+        if record is not None:
+            try:
+                values = _values_from_record(cell, record)
+            except (KeyError, TypeError, ValueError, ZeroDivisionError):
+                values = None
+            if values is not None:
+                now = time.monotonic()
+                outcomes.append(CellOutcome(
+                    index=index,
+                    values=values,
+                    seconds=time.perf_counter() - start,
+                    result_hit=True,
+                    trace_source="cached-result",
+                    pid=os.getpid(),
+                    queue_wait=queue_wait if not outcomes else 0.0,
+                    started=started,
+                    ended=now,
+                    metrics=lookup_delta,
+                ))
+                start = time.perf_counter()
+                started = now
+                continue
+        # A missed (or corrupt) lookup's counters ride with the sweep
+        # metrics below.
+        for name, delta in lookup_delta.items():
+            load_metrics[name] = load_metrics.get(name, 0.0) + delta
+        pending.append((index, cell))
+    if not pending:
+        return outcomes
+    if outcomes:
+        queue_wait = 0.0
+
+    counters_before = cache.counters() if cache is not None else None
+    fastpath_before = fastpath.stats()
+    spans: List[Tuple[str, float, float]] = []
+    first = pending[0][1]
+    mark = time.monotonic()
+    trace, source = _resolve_trace(first.loop, first.n, cache)
+    spans.append((f"trace:resolve:{first.loop}", mark, time.monotonic()))
+    items = [
+        (build_simulator(cell.machine), config_by_name(cell.config))
+        for _, cell in pending
+    ]
+    mark = time.monotonic()
+    results = fastpath.simulate_sweep(trace, items, backend=backend)
+    spans.append(
+        (f"sweep:{first.loop}x{len(pending)}", mark, time.monotonic())
+    )
+
+    metrics: Dict[str, float] = dict(load_metrics)
+    if counters_before is not None:
+        after = cache.counters()
+        for key, name in _CACHE_METRIC_NAMES.items():
+            delta = after.get(key, 0) - counters_before.get(key, 0)
+            if delta:
+                metrics[name] = metrics.get(name, 0.0) + float(delta)
+    metrics.update(_fastpath_deltas(fastpath_before, fastpath.stats()))
+
+    ended = time.monotonic()
+    share = (time.perf_counter() - start) / len(pending)
+    for position, ((index, cell), result) in enumerate(zip(pending, results)):
+        record = {
+            "trace": result.trace_name,
+            "simulator": result.simulator,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+        }
+        if cache is not None:
+            cache.store_result(cell_key(cell), record)
+        outcomes.append(CellOutcome(
+            index=index,
+            values=_values_from_record(cell, record),
+            seconds=share,
+            result_hit=False,
+            trace_source=source if position == 0 else "memo",
+            pid=os.getpid(),
+            queue_wait=queue_wait if position == 0 else 0.0,
+            started=started,
+            ended=ended,
+            spans=tuple(spans) if position == 0 else (),
+            metrics=metrics if position == 0 else {},
+        ))
+    return outcomes
+
+
 def _evaluate_in_pool(
     payload: Tuple[int, Cell, Optional[float]]
 ) -> CellOutcome:
     index, cell, enqueued = payload
     return evaluate_cell(index, cell, _WORKER_CACHE, enqueued=enqueued)
+
+
+def _evaluate_sweep_in_pool(
+    payload: Tuple[List[Tuple[int, Cell]], str, Optional[float]]
+) -> List[CellOutcome]:
+    group, backend, enqueued = payload
+    return evaluate_sweep(
+        group, _WORKER_CACHE, backend=backend, enqueued=enqueued
+    )
 
 
 # ----------------------------------------------------------------------
@@ -491,46 +627,104 @@ def _build_manifest(
     )
 
 
+def _sweep_groups(
+    plan: ExperimentPlan,
+) -> List[Tuple[bool, List[Tuple[int, Cell]]]]:
+    """Partition plan cells into sweep groups.
+
+    Simulator cells sharing ``(loop, n)`` -- the same dynamic trace --
+    form one sweep group; limits cells stay singletons (they have no
+    machine to sweep).  Returns ``(is_sweep, [(index, cell), ...])``
+    pairs in first-appearance order; the deterministic merge sorts by
+    cell index, so grouping never changes the table.
+    """
+    groups: List[Tuple[bool, List[Tuple[int, Cell]]]] = []
+    by_trace: Dict[Tuple[int, int], List[Tuple[int, Cell]]] = {}
+    for index, cell in enumerate(plan.cells):
+        if cell.is_limits:
+            groups.append((False, [(index, cell)]))
+            continue
+        key = (cell.loop, cell.n)
+        bucket = by_trace.get(key)
+        if bucket is None:
+            by_trace[key] = bucket = []
+            groups.append((True, bucket))
+        bucket.append((index, cell))
+    return groups
+
+
 def run_plan(
     plan: ExperimentPlan,
     *,
     workers: Optional[int] = None,
     cache: Optional[DiskCache] = None,
     observe: bool = False,
+    backend: str = "auto",
 ) -> PlanRun:
     """Evaluate every cell of *plan* and merge deterministically.
 
-    ``workers=1`` (or a single-cell plan) runs in-process; anything
-    larger fans out over a ``ProcessPoolExecutor``.  *cache* is optional:
-    without it the engine is a pure compute path.  With ``observe=True``
-    the run also records a span trace and writes a
+    ``workers=1`` (or a single-group plan) runs in-process; anything
+    larger fans out over a ``ProcessPoolExecutor``.  Simulator cells
+    sharing a trace are evaluated as one fast-path sweep through
+    *backend* (``"auto"`` resolves to the batch backend; see
+    :mod:`repro.core.fastpath`) -- per-cell cache lookups and gating are
+    preserved, so the table is bit-identical to per-cell evaluation.
+    *cache* is optional: without it the engine is a pure compute path.
+    With ``observe=True`` the run also records a span trace and writes a
     :class:`~repro.obs.manifest.RunManifest` under the cache root
     (``<root>/manifests``), returned on the :class:`PlanRun`.
     """
     workers = default_workers() if workers is None else max(1, int(workers))
     run_started = time.monotonic()
     start = time.perf_counter()
+    groups = _sweep_groups(plan)
     payloads = [
-        (index, cell, time.monotonic())
-        for index, cell in enumerate(plan.cells)
+        (is_sweep, group, time.monotonic()) for is_sweep, group in groups
     ]
 
     if workers == 1 or len(payloads) <= 1:
-        outcomes = [
-            evaluate_cell(index, cell, cache, enqueued=enqueued)
-            for index, cell, enqueued in payloads
-        ]
+        outcomes = []
+        for is_sweep, group, enqueued in payloads:
+            if is_sweep:
+                outcomes.extend(evaluate_sweep(
+                    group, cache, backend=backend, enqueued=enqueued
+                ))
+            else:
+                index, cell = group[0]
+                outcomes.append(
+                    evaluate_cell(index, cell, cache, enqueued=enqueued)
+                )
     else:
         cache_dir = str(cache.root) if cache is not None else None
+        cell_payloads = [
+            (group[0][0], group[0][1], enqueued)
+            for is_sweep, group, enqueued in payloads
+            if not is_sweep
+        ]
+        sweep_payloads = [
+            (group, backend, enqueued)
+            for is_sweep, group, enqueued in payloads
+            if is_sweep
+        ]
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_init,
             initargs=(cache_dir,),
         ) as pool:
-            chunk = max(1, len(payloads) // (workers * 4))
-            outcomes = list(
-                pool.map(_evaluate_in_pool, payloads, chunksize=chunk)
-            )
+            outcomes = []
+            sweep_results = None
+            if sweep_payloads:
+                sweep_results = pool.map(
+                    _evaluate_sweep_in_pool, sweep_payloads, chunksize=1
+                )
+            if cell_payloads:
+                chunk = max(1, len(cell_payloads) // (workers * 4))
+                outcomes.extend(pool.map(
+                    _evaluate_in_pool, cell_payloads, chunksize=chunk
+                ))
+            if sweep_results is not None:
+                for group_outcomes in sweep_results:
+                    outcomes.extend(group_outcomes)
 
     table = merge_outcomes(plan, outcomes)
     run_ended = time.monotonic()

@@ -123,3 +123,87 @@ class TestUnknownSpecError:
 
     def test_is_a_value_error(self):
         assert issubclass(UnknownSpecError, ValueError)
+
+    @pytest.mark.parametrize(
+        "spec", ["ooo", "ooo:x", "ruu:2", "cray:5", "inorder:4:warpbus"]
+    )
+    def test_malformed_parameters_raise_uniformly(self, spec):
+        """Known head + bad parameters is the same error class as an
+        unknown head, with the reason attached."""
+        with pytest.raises(UnknownSpecError) as excinfo:
+            build_simulator(spec)
+        assert excinfo.value.spec == spec
+        assert excinfo.value.reason
+
+
+class TestParseSpecAndMachineInfo:
+    def test_parse_spec_normalises(self):
+        parsed = api.parse_spec("  OOO:4:XBAR ")
+        assert parsed.head == "ooo"
+        assert parsed.params == ("4", "xbar")
+
+    def test_parse_spec_rejects_bad_specs(self):
+        with pytest.raises(api.UnknownSpecError):
+            api.parse_spec("warp-drive")
+        with pytest.raises(api.UnknownSpecError):
+            api.parse_spec("ruu:2")  # missing the RUU size
+
+    def test_machine_info_fast_path_machine(self):
+        info = api.machine_info("ruu:2:50")
+        assert info.spec == "ruu:2:50"
+        assert info.machine == "RUUMachine"
+        assert info.family == "ruu"
+        assert info.fast_path
+
+    def test_machine_info_reference_only_machine(self):
+        info = api.machine_info("simple")
+        assert info.machine == "SimpleMachine"
+        assert info.family is None
+        assert not info.fast_path
+
+    def test_list_backends(self):
+        assert set(api.list_backends()) >= {"batch", "python"}
+
+
+class TestRunSweep:
+    SPECS = ("cray", "ooo:2", "ruu:2:10")
+
+    def test_matches_per_spec_simulate(self):
+        run = api.run_sweep(self.SPECS, [1, 5])
+        assert run.specs == self.SPECS
+        for spec in self.SPECS:
+            assert len(run.results[spec]) == 2
+            for result, kernel in zip(run.results[spec], (1, 5)):
+                solo = api.simulate(kernel, spec)
+                assert result.cycles == solo.cycles
+                assert result.instructions == solo.instructions
+
+    def test_backends_agree(self):
+        batch = api.run_sweep(self.SPECS, [12], backend="batch")
+        python = api.run_sweep(self.SPECS, [12], backend="python")
+        for spec in self.SPECS:
+            assert batch.rates[spec] == python.rates[spec]
+        assert batch.manifest["fastpath"].get("batch.sweeps", 0) >= 1
+        assert python.manifest["fastpath"].get("python.fast_runs", 0) >= 1
+
+    def test_accepts_trace_objects(self, loop5_trace):
+        run = api.run_sweep(["cray"], [loop5_trace])
+        assert run.manifest["traces"] == [loop5_trace.name]
+        result = run.results["cray"][0]
+        assert run.rates["cray"] == pytest.approx(
+            result.instructions / result.cycles
+        )
+
+    def test_rejects_bad_spec_before_running(self):
+        with pytest.raises(api.UnknownSpecError):
+            api.run_sweep(["cray", "warp-drive"], [1])
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="unknown fastpath backend"):
+            api.run_sweep(["cray"], [1], backend="fortran")
+
+    def test_render_lists_every_spec(self):
+        run = api.run_sweep(self.SPECS, [1])
+        text = run.render()
+        for spec in self.SPECS:
+            assert spec in text

@@ -187,6 +187,13 @@ def test_full_suite_meets_speedup_target(tmp_path):
         assert speedup is not None and speedup.value >= 3.0, (
             f"{spec}: {speedup.value if speedup else None}"
         )
+    # And the batch backend amortises a four-config sweep at least 2x
+    # over four per-spec fast replays (the batch-backend acceptance
+    # floor the nightly gate also enforces).
+    sweep = reloaded.result("sweep.ooo:4.speedup")
+    assert sweep is not None and sweep.value >= 2.0, (
+        f"sweep speedup {sweep.value if sweep else None}"
+    )
 
 
 class TestCompareSemantics:

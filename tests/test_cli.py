@@ -149,3 +149,84 @@ class TestVectorFlag:
     def test_vector_flag_rejects_scalar_only_loops(self, capsys):
         with pytest.raises(ValueError):
             main(["simulate", "--kernel", "5", "--vector"])
+
+
+class TestSweepCommand:
+    def test_sweep_prints_per_spec_rates(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--machines", "cray", "ooo:2",
+            "--kernels", "1", "12",
+        )
+        assert code == 0
+        assert "sweep: 2 machines x 2 traces" in out
+        assert "cray" in out and "ooo:2" in out
+
+    def test_sweep_backend_flag(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--machines", "cray",
+            "--kernels", "3", "--backend", "python",
+        )
+        assert code == 0
+        assert "backend python" in out
+
+    def test_sweep_rejects_bad_spec(self, capsys):
+        code = main(["sweep", "--machines", "cray", "warp-drive"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "warp-drive" in err
+
+
+class TestMachineInfoFlag:
+    def test_stats_machine_describes_spec(self, capsys):
+        code, out = run_cli(capsys, "stats", "--machine", "ooo:4:1bus")
+        assert code == 0
+        assert "OutOfOrderMultiIssueMachine" in out
+        assert "compiled family 'ooo'" in out
+
+    def test_stats_machine_reference_only(self, capsys):
+        code, out = run_cli(capsys, "stats", "--machine", "simple")
+        assert code == 0
+        assert "reference loop" in out
+
+    def test_stats_machine_rejects_malformed_params(self, capsys):
+        code = main(["stats", "--machine", "ruu:2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "ruu:2" in err
+
+
+class TestBackendFlags:
+    def test_tables_forwards_backend(self, capsys, monkeypatch):
+        import repro.api as api
+        from repro.harness.engine import EngineStats
+        from repro.harness.tables import ResultTable
+
+        seen = {}
+
+        def fake(table_id, *, backend="auto", **kw):
+            seen["backend"] = backend
+            table = ResultTable(
+                table_id=table_id,
+                title="fake",
+                columns=("M11BR5",),
+                rows=(("r", {"M11BR5": 1.0}),),
+            )
+            return api.TableRun(
+                table=table,
+                stats=EngineStats(table_id=table_id, cells=1, workers=1),
+            )
+
+        monkeypatch.setattr(api, "run_table", fake)
+        code, _ = run_cli(
+            capsys, "tables", "table1", "--backend", "python"
+        )
+        assert code == 0
+        assert seen == {"backend": "python"}
+
+    def test_bench_rejects_bad_machine_before_running(self, capsys):
+        code = main(["bench", "--quick", "--machines", "warp-drive"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "warp-drive" in err

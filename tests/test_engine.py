@@ -246,6 +246,62 @@ class TestFastpathCounters:
         assert warm_counters.get("fastpath.fast_runs", 0.0) == 0.0
 
 
+class TestSweepGrouping:
+    """Sweep-shaped plans route through the batch backend without
+    changing a single table value."""
+
+    def test_sweep_groups_partition_by_trace(self, small_sizes):
+        from repro.harness.engine import _sweep_groups
+
+        plan = build_plan("table1", small_sizes)
+        groups = _sweep_groups(plan)
+        swept = [group for is_sweep, group in groups if is_sweep]
+        singles = [group for is_sweep, group in groups if not is_sweep]
+        # table1 has no limit cells: everything sweeps, one group per
+        # (loop, n) trace, together covering every cell exactly once.
+        assert not singles
+        assert len(swept) == 14
+        indices = sorted(index for group in swept for index, _ in group)
+        assert indices == list(range(len(plan.cells)))
+        for group in swept:
+            keys = {(cell.loop, cell.n) for _, cell in group}
+            assert len(keys) == 1
+
+    def test_limit_cells_stay_singletons(self, small_sizes):
+        from repro.harness.engine import _sweep_groups
+
+        plan = build_plan("table2", small_sizes)
+        for is_sweep, group in _sweep_groups(plan):
+            assert not is_sweep
+            assert len(group) == 1
+
+    @pytest.mark.parametrize("backend", ["python", "batch"])
+    def test_backends_produce_identical_tables(self, small_sizes, backend):
+        auto = api.run_table(
+            "table1", sizes=small_sizes, workers=1, cache=False
+        )
+        other = api.run_table(
+            "table1", sizes=small_sizes, workers=1, cache=False,
+            backend=backend,
+        )
+        assert other.table.rows == auto.table.rows
+
+    def test_sweep_metrics_attribute_batch_backend(self, small_sizes):
+        from repro.core import fastpath
+
+        if not fastpath.enabled():
+            pytest.skip("fast path disabled via REPRO_FASTPATH")
+        cold = api.run_table(
+            "table1", sizes=small_sizes, workers=1, observe=True
+        )
+        counters = cold.stats.metrics["counters"]
+        assert counters["fastpath.batch.sweeps"] > 0
+        assert counters["fastpath.batch.fast_runs"] > 0
+        assert cold.manifest.counter("fastpath.batch.sweeps") == (
+            counters["fastpath.batch.sweeps"]
+        )
+
+
 class TestDiskCacheUnit:
     def test_result_round_trip(self, tmp_path):
         store = DiskCache(tmp_path / "c")

@@ -1,0 +1,308 @@
+"""The batch backend's contract: bit-identical, correctly attributed.
+
+Three layers of tests for the structure-of-arrays sweep backend:
+
+* **Differential sweep** -- every fuzzed trace replayed through the full
+  oracle machine set as one batch sweep must agree with the per-spec
+  python backend *and* the reference loops on cycles, issue rates and
+  (for the fast-path machines) the per-instruction issue/completion
+  schedule.
+* **Broken-backend detection** -- a batch backend replaying under
+  mutated latencies must be caught by the oracle's ``fastpath-dual``
+  check: the differential layers are what make the batch kernels safe
+  to trust, so this pins that they actually fire.
+* **Registry, gating and stats** -- backend registration seeds stable
+  counter keys, ``set_enabled(False)`` and installed hooks force the
+  reference loops uniformly, and every fast run is attributed to the
+  backend that served it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import M5BR2, M5BR5, M11BR2, M11BR5, fastpath
+from repro.core.registry import build_simulator
+from repro.core.scoreboard import cray_like_machine
+from repro.obs.events import EventCollector, EventKind
+from repro.verify.fuzz import FuzzSpec, fuzz_trace
+from repro.verify.oracle import DEFAULT_ORACLE_MACHINES, run_oracle
+
+CONFIGS = (M11BR5, M11BR2, M5BR5, M5BR2)
+
+N_SEEDS = 300
+
+#: One shared trace pool, distinct seeds from test_fastpath_diff's.
+_SHAPE = FuzzSpec()
+TRACES = tuple(
+    fuzz_trace(50_000 + seed, _SHAPE) for seed in range(N_SEEDS)
+)
+
+
+@pytest.fixture(autouse=True)
+def _fastpath_on():
+    previous = fastpath.set_enabled(True)
+    yield
+    fastpath.set_enabled(previous)
+
+
+def _oracle_simulators():
+    return [(spec, build_simulator(spec)) for spec in DEFAULT_ORACLE_MACHINES]
+
+
+# ----------------------------------------------------------------------
+# The three-way differential sweep
+# ----------------------------------------------------------------------
+
+def test_batch_matches_perspec_and_reference_over_oracle_set():
+    """300 fuzzed traces x the 18 oracle specs: batch == per-spec fast
+    == reference on cycles, rates and instruction counts."""
+    machines = _oracle_simulators()
+    items = [(sim, None) for _, sim in machines]
+    for seed, trace in enumerate(TRACES):
+        config = CONFIGS[seed % len(CONFIGS)]
+        bound = [(sim, config) for sim, _ in items]
+        batch = fastpath.simulate_sweep(trace, bound, backend="batch")
+        perspec = fastpath.simulate_sweep(trace, bound, backend="python")
+        for (spec, sim), b, p in zip(machines, batch, perspec):
+            reference = getattr(sim, "reference_simulate", sim.simulate)
+            ref = reference(trace, config)
+            context = (spec, trace.name, config.name)
+            assert b.cycles == p.cycles == ref.cycles, context
+            assert b.issue_rate == p.issue_rate == ref.issue_rate, context
+            assert (
+                b.instructions == p.instructions == ref.instructions
+            ), context
+
+
+def test_batch_schedules_match_perspec_over_oracle_set():
+    """Per-instruction (issue, complete) pairs from the batch kernels
+    equal the per-spec fast loops' on every fast-path oracle member."""
+    machines = [
+        (spec, sim)
+        for spec, sim in _oracle_simulators()
+        if fastpath.fast_eligible(sim)
+    ]
+    assert len(machines) >= 12  # the oracle set is mostly fast-path
+    for seed, trace in enumerate(TRACES):
+        config = CONFIGS[seed % len(CONFIGS)]
+        batch_records = [[] for _ in machines]
+        perspec_records = [[] for _ in machines]
+        fastpath.simulate_sweep(
+            trace,
+            [
+                fastpath.SweepItem(sim, config, record)
+                for (_, sim), record in zip(machines, batch_records)
+            ],
+            backend="batch",
+        )
+        fastpath.simulate_sweep(
+            trace,
+            [
+                fastpath.SweepItem(sim, config, record)
+                for (_, sim), record in zip(machines, perspec_records)
+            ],
+            backend="python",
+        )
+        for (spec, _), b, p in zip(machines, batch_records, perspec_records):
+            assert len(b) == len(trace)
+            assert b == p, (spec, trace.name, config.name)
+
+
+@pytest.mark.parametrize("spec", ("cray", "ooo:4", "ruu:2:50", "cdc6600"))
+def test_batch_schedule_matches_reference_events(spec):
+    """Spot-check the batch schedules against the reference loops' event
+    streams directly (the python-backend equivalence above plus
+    test_fastpath_diff covers the rest of the cross product)."""
+    simulator = build_simulator(spec)
+    for trace in TRACES[:30]:
+        record = []
+        fastpath.simulate_sweep(
+            trace,
+            [fastpath.SweepItem(simulator, M11BR5, record)],
+            backend="batch",
+        )
+        collector = EventCollector()
+        simulator.simulate_observed(trace, M11BR5, collector)
+        issues = collector.cycles_by_seq(EventKind.ISSUE)
+        completes = collector.cycles_by_seq(EventKind.COMPLETE)
+        expected = [
+            (
+                issues[entry.seq],
+                completes.get(
+                    entry.seq, issues[entry.seq] + M11BR5.branch_latency
+                ),
+            )
+            for entry in trace.entries
+        ]
+        assert record == expected, (spec, trace.name)
+
+
+def test_table5_style_sweep_is_bit_identical_across_configs():
+    """The acceptance shape: one ooo:4 machine, all four configs, one
+    trace, one batch pass -- identical to four reference replays."""
+    simulator = build_simulator("ooo:4")
+    for trace in TRACES[:50]:
+        results = fastpath.simulate_sweep(
+            trace,
+            [(simulator, config) for config in CONFIGS],
+            backend="batch",
+        )
+        for config, result in zip(CONFIGS, results):
+            ref = simulator.reference_simulate(trace, config)
+            assert result.cycles == ref.cycles, (trace.name, config.name)
+
+
+# ----------------------------------------------------------------------
+# A broken batch backend is caught
+# ----------------------------------------------------------------------
+
+class _MutatedLatencyBatch(fastpath.Backend):
+    """A deliberately wrong batch backend: replays every sweep member
+    under a memory latency one cycle higher than asked."""
+
+    name = "batch"
+    counter_names = ("fast_runs", "sweeps", "fallback_runs")
+
+    def __init__(self, real):
+        self._real = real
+
+    def simulate(self, simulator, trace, config, record=None):
+        return self._real.simulate(simulator, trace, config, record)
+
+    def simulate_sweep(self, trace, items):
+        mutated = [
+            fastpath.SweepItem(
+                item.simulator,
+                replace(
+                    item.config,
+                    memory_latency=item.config.memory_latency + 1,
+                ),
+                item.record,
+            )
+            for item in items
+        ]
+        return self._real.simulate_sweep(trace, mutated)
+
+
+def test_oracle_catches_mutated_latency_batch_backend():
+    """The fastpath-dual check must flag a batch backend whose kernels
+    drift from the reference loops -- the safety net behind 'auto'."""
+    real = fastpath.get_backend("batch")
+    fastpath.register_backend(_MutatedLatencyBatch(real))
+    try:
+        report = run_oracle(TRACES[0], M11BR5)
+    finally:
+        fastpath.register_backend(real)
+    duals = [v for v in report.violations if v.check == "fastpath-dual"]
+    assert duals, "mutated-latency batch backend went undetected"
+    # And with the real backend restored the same replay is clean.
+    assert run_oracle(TRACES[0], M11BR5).ok
+
+
+def test_oracle_routes_replays_through_batch_sweeps():
+    fastpath.reset_stats()
+    report = run_oracle(TRACES[1], M11BR5)
+    assert report.ok
+    stats = fastpath.stats()
+    assert stats["batch.sweeps"] >= 1
+    assert stats["batch.fast_runs"] >= 10
+
+
+# ----------------------------------------------------------------------
+# Registry, gating, stats
+# ----------------------------------------------------------------------
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert set(fastpath.list_backends()) >= {"batch", "python"}
+
+    def test_auto_resolves_to_batch(self):
+        assert fastpath.resolve_backend("auto").name == "batch"
+        assert fastpath.resolve_backend("python").name == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown fastpath backend"):
+            fastpath.get_backend("fortran")
+        with pytest.raises(ValueError, match="unknown fastpath backend"):
+            fastpath.simulate_sweep(
+                TRACES[0], [(cray_like_machine(), M11BR5)], backend="rust"
+            )
+
+    def test_registration_requires_name(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            fastpath.register_backend(fastpath.Backend())
+
+    def test_counters_seeded_at_registration(self):
+        stats = fastpath.stats()
+        for key in (
+            "python.fast_runs",
+            "batch.fast_runs",
+            "batch.sweeps",
+            "batch.fallback_runs",
+        ):
+            assert key in stats
+
+
+class TestGatingAndStats:
+    def test_disabled_fastpath_serves_sweeps_from_reference(self):
+        simulator = build_simulator("ooo:2")
+        enabled = fastpath.simulate_sweep(
+            TRACES[2], [(simulator, M11BR5)]
+        )[0]
+        previous = fastpath.set_enabled(False)
+        try:
+            fastpath.reset_stats()
+            disabled = fastpath.simulate_sweep(
+                TRACES[2], [(simulator, M11BR5)]
+            )[0]
+            assert fastpath.stats()["fast_runs"] == 0
+        finally:
+            fastpath.set_enabled(previous)
+        assert disabled.cycles == enabled.cycles
+
+    def test_hooked_item_runs_reference_while_others_batch(self):
+        hooked = build_simulator("ooo:2")
+        hooked.on_event = collector = EventCollector()
+        plain = build_simulator("ooo:2")
+        fastpath.reset_stats()
+        results = fastpath.simulate_sweep(
+            TRACES[3], [(hooked, M11BR5), (plain, M11BR5)]
+        )
+        assert collector.events, "hooked sweep member emitted no events"
+        assert results[0].cycles == results[1].cycles
+        stats = fastpath.stats()
+        assert stats["batch.fast_runs"] == 1
+
+    def test_fast_runs_attributed_per_backend(self):
+        simulator = build_simulator("inorder:2")
+        fastpath.reset_stats()
+        fastpath.simulate_sweep(
+            TRACES[4], [(simulator, M11BR5)], backend="batch"
+        )
+        fastpath.simulate_sweep(
+            TRACES[4], [(simulator, M11BR5)], backend="python"
+        )
+        stats = fastpath.stats()
+        assert stats["batch.fast_runs"] == 1
+        assert stats["python.fast_runs"] >= 1
+        assert stats["fast_runs"] == (
+            stats["batch.fast_runs"] + stats["python.fast_runs"]
+        )
+
+    def test_no_fast_path_machine_falls_back_inside_batch(self):
+        """RUU-with-predictor and the simple machine never take a
+        compiled loop, even as sweep members."""
+        from repro.predict import AlwaysTakenPredictor
+        from repro.core.ruu import RUUMachine
+
+        predicted = RUUMachine(2, 50, predictor_factory=AlwaysTakenPredictor)
+        simple = build_simulator("simple")
+        fastpath.reset_stats()
+        results = fastpath.simulate_sweep(
+            TRACES[5], [(predicted, M11BR5), (simple, M11BR5)]
+        )
+        assert all(result.cycles >= 1 for result in results)
+        assert fastpath.stats()["fast_runs"] == 0
