@@ -4,11 +4,23 @@ For an issue-blocking machine every cycle in which no instruction issues
 is attributable to exactly one binding constraint (the one that set the
 blocked instruction's issue time): a RAW or WAW register hazard, a busy
 functional unit, a result-bus conflict, or an unresolved branch.  This
-module subscribes to the machine's typed event stream
-(:mod:`repro.obs.events`, adapted into per-instruction
-:class:`repro.core.scoreboard.IssueRecord`\\ s) and aggregates the
-attributions into a breakdown -- the quantitative version of the paper's
-Section 6 discussion of what limits each organisation.
+module aggregates those attributions into a breakdown -- the
+quantitative version of the paper's Section 6 discussion of what limits
+each organisation.
+
+Two resolutions are available:
+
+* ``"auto"`` (default) reads the aggregate :class:`~repro.obs.telemetry.
+  SimTelemetry` record the compiled fast loops attach to every result --
+  one plain ``simulate`` call, no event stream, fast-path speed.  When
+  the machine has no fast loop (or telemetry collection is disabled) it
+  falls back to events transparently.
+* ``"events"`` replays through the typed event stream
+  (:mod:`repro.obs.events`, adapted into per-instruction
+  :class:`repro.core.scoreboard.IssueRecord`\\ s) and keeps the full
+  per-instruction schedule in :attr:`StallBreakdown.records`.  Ask for
+  it explicitly when you need per-cycle resolution (e.g. to feed
+  :func:`repro.analysis.timeline.render_timeline`).
 """
 
 from __future__ import annotations
@@ -24,7 +36,10 @@ from ..core.scoreboard import (
     StallReason,
     cray_like_machine,
 )
+from ..obs.telemetry import SimTelemetry
 from ..trace import Trace
+
+_RESOLUTIONS = ("auto", "telemetry", "events")
 
 
 @dataclass(frozen=True)
@@ -38,7 +53,9 @@ class StallBreakdown:
         total_cycles: total execution cycles.
         issue_cycles: cycles in which an instruction issued.
         stalled_by: idle issue cycles attributed to each reason.
-        records: the per-instruction schedule (in trace order).
+        records: the per-instruction schedule (in trace order); empty
+            when the breakdown came from aggregate telemetry rather
+            than an event replay.
     """
 
     trace_name: str
@@ -74,10 +91,40 @@ class StallBreakdown:
         return "\n".join(lines)
 
 
+def _breakdown_from_telemetry(
+    trace: Trace,
+    config: MachineConfig,
+    machine: ScoreboardMachine,
+) -> Optional[StallBreakdown]:
+    """Telemetry-resolution breakdown, or None when unavailable."""
+    result = machine.simulate(trace, config)
+    telemetry = SimTelemetry.from_detail(result.detail)
+    if telemetry is None:
+        return None
+    if not all(
+        name in StallReason.__members__ for name in telemetry.stall_cycles
+    ):
+        return None
+    return StallBreakdown(
+        trace_name=trace.name,
+        machine=machine.name,
+        config=config,
+        total_cycles=result.cycles,
+        issue_cycles=sum(telemetry.issue_width.values()),
+        stalled_by={
+            StallReason[name]: cycles
+            for name, cycles in telemetry.stall_cycles.items()
+        },
+        records=[],
+    )
+
+
 def stall_breakdown(
     trace: Trace,
     config: MachineConfig,
     machine: Optional[ScoreboardMachine] = None,
+    *,
+    resolution: str = "auto",
 ) -> StallBreakdown:
     """Attribute every idle issue cycle of *trace* on *machine*.
 
@@ -85,8 +132,29 @@ def stall_breakdown(
         trace: the dynamic trace to analyse.
         config: memory/branch variant.
         machine: any :class:`ScoreboardMachine`; defaults to CRAY-like.
+        resolution: ``"auto"`` prefers the fast-path telemetry record
+            (no per-instruction records) and falls back to an event
+            replay; ``"telemetry"`` requires telemetry and raises when
+            it is unavailable; ``"events"`` always replays and keeps
+            :attr:`StallBreakdown.records`.
     """
+    if resolution not in _RESOLUTIONS:
+        raise ValueError(
+            f"unknown resolution {resolution!r}; expected one of "
+            f"{_RESOLUTIONS}"
+        )
     machine = machine or cray_like_machine()
+
+    if resolution in ("auto", "telemetry"):
+        breakdown = _breakdown_from_telemetry(trace, config, machine)
+        if breakdown is not None:
+            return breakdown
+        if resolution == "telemetry":
+            raise ValueError(
+                f"{machine.name} produced no telemetry for "
+                f"{trace.name} [{config.name}]; use resolution='events'"
+            )
+
     records: List[IssueRecord] = []
     result = machine.simulate_observed(
         trace, config, EventRecorder(records.append)

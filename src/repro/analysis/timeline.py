@@ -4,6 +4,13 @@ Renders a window of a recorded schedule as the classic pipeline diagram:
 one row per instruction, one column per cycle, ``I`` at issue, ``=``
 while the operation is in a functional unit, ``*`` at completion.
 Useful for eyeballing exactly why a loop body stalls.
+
+Timelines inherently need per-cycle, per-instruction resolution, so
+this module always replays through the typed event stream -- the
+aggregate :mod:`repro.obs.telemetry` record that serves
+:func:`repro.analysis.stalls.stall_breakdown` cannot reconstruct a
+schedule.  That makes :func:`record_schedule` the deliberate "events
+only when per-cycle resolution is explicitly requested" path.
 """
 
 from __future__ import annotations

@@ -54,6 +54,7 @@ from .core.registry import (
 from .harness import experiments as _experiments
 from .harness.aggregate import harmonic_mean, relative_error
 from .harness.engine import EngineStats, run_plan
+from .harness.progress import ProgressCallback, ProgressEvent
 from .harness.paper import PAPER_SECTION33, PAPER_TABLES
 from .harness.plans import PLAN_BUILDERS, build_plan
 from .harness.tables import ResultTable, compare_tables
@@ -84,6 +85,8 @@ __all__ = [
     "BenchReport",
     "MachineInfo",
     "ParsedSpec",
+    "ProgressCallback",
+    "ProgressEvent",
     "RunManifest",
     "SweepRun",
     "TableRun",
@@ -163,6 +166,7 @@ def run_table(
     sizes: Sizes = None,
     observe: bool = False,
     backend: str = "auto",
+    progress: Optional[ProgressCallback] = None,
     **plan_overrides,
 ) -> TableRun:
     """Regenerate one of the paper's tables.
@@ -179,6 +183,10 @@ def run_table(
             (``"auto"`` -- the batch backend -- or ``"python"`` /
             ``"batch"`` explicitly); results are bit-identical either
             way, only timing changes.
+        progress: optional per-cell completion callback; invoked in this
+            process with one :class:`~repro.harness.progress.
+            ProgressEvent` per finished cell, in completion order (the
+            CLI renders it as the ``tables --progress`` ticker).
         plan_overrides: table-specific sweep parameters (``stations``,
             ``ruu_sizes``, ``units``).
 
@@ -189,7 +197,12 @@ def run_table(
     plan = build_plan(table_id, sizes, **plan_overrides)
     store = DiskCache() if cache else None
     outcome = run_plan(
-        plan, workers=workers, cache=store, observe=observe, backend=backend
+        plan,
+        workers=workers,
+        cache=store,
+        observe=observe,
+        backend=backend,
+        progress=progress,
     )
     reference = PAPER_TABLES.get(table_id) if compare else None
     return TableRun(
@@ -380,6 +393,7 @@ def verify_machines(
     shrink: bool = True,
     dump_dir: Optional[str] = None,
     first_seed: int = 0,
+    check_telemetry: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> VerifyReport:
     """Fuzz-verify machine models against each other and the limits.
@@ -404,6 +418,9 @@ def verify_machines(
         shrink: minimise failing traces before reporting.
         dump_dir: directory for reproducer dumps.
         first_seed: base seed, letting shards cover disjoint ranges.
+        check_telemetry: additionally require each fast-path machine's
+            aggregate telemetry record to be bit-identical to the
+            event-derived reduction (``repro verify --telemetry``).
         log: optional progress sink (the CLI passes ``print``).
     """
     shape = fuzz if fuzz is not None else FuzzSpec()
@@ -419,6 +436,7 @@ def verify_machines(
         shrink=shrink,
         dump_dir=Path(dump_dir) if dump_dir is not None else None,
         first_seed=first_seed,
+        check_telemetry=check_telemetry,
     )
     return run_verification(options, log=log)
 

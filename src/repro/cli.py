@@ -5,14 +5,19 @@ parses arguments and prints, the facade does the work:
 
 * ``tables``   -- regenerate any of the paper's tables in parallel with a
   persistent result store (``--workers``, ``--no-cache``, ``--compare``;
-  records a run manifest unless ``--no-observe``);
+  records a run manifest unless ``--no-observe``; ``--progress``
+  streams per-cell completions to stderr, as a human ticker or
+  ``--progress-format jsonl``);
 * ``simulate`` -- run one kernel through one machine organisation;
 * ``disasm``   -- print a kernel's assembly listing;
 * ``stats``    -- with ``--kernel``: dynamic instruction-mix statistics;
   without: the run breakdown of past observed runs (timings, cache hit
-  rate, worker utilization) from the stored manifests;
+  rate, worker utilization) from the stored manifests; ``--format
+  openmetrics`` dumps a run's metric snapshot as an OpenMetrics
+  exposition for any Prometheus-style scraper;
 * ``trace-export`` -- export a run's span trace as Chrome ``trace_event``
-  JSON (``chrome://tracing`` / Perfetto) or the raw span payload;
+  JSON (``chrome://tracing`` / Perfetto; ``--format perfetto`` adds
+  named per-worker tracks) or the raw span payload;
 * ``limits``   -- pseudo-dataflow / resource / serial limits;
 * ``stalls``   -- stall attribution on an issue-blocking machine;
 * ``capture``  -- save a verified dynamic trace as JSON lines;
@@ -40,7 +45,8 @@ from typing import List, Optional
 
 from . import api
 from .kernels import ALL_LOOPS
-from .obs.tracing import spans_to_chrome
+from .obs.metrics import MetricsRegistry
+from .obs.tracing import spans_to_chrome, spans_to_perfetto
 from .trace import format_stats
 
 
@@ -126,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
             "batch structure-of-arrays; results are identical either way)"
         ),
     )
+    tables.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-cell completions to stderr while the run is live",
+    )
+    tables.add_argument(
+        "--progress-format",
+        choices=("human", "jsonl"),
+        default="human",
+        help=(
+            "progress rendering: a live human ticker (default) or one "
+            "JSON object per completed cell; implies --progress"
+        ),
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -192,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="how many past runs to list (default 10)",
     )
+    stats.add_argument(
+        "--format",
+        choices=("text", "openmetrics"),
+        default="text",
+        help=(
+            "run-breakdown rendering: the text report (default) or the "
+            "run's metric snapshot as an OpenMetrics exposition"
+        ),
+    )
 
     trace_export = sub.add_parser(
         "trace-export",
@@ -204,9 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_export.add_argument(
         "--format",
-        choices=("chrome", "json"),
+        choices=("chrome", "perfetto", "json"),
         default="chrome",
-        help="chrome trace_event (default) or the raw span payload",
+        help=(
+            "chrome trace_event (default), perfetto (chrome plus named "
+            "per-worker tracks) or the raw span payload"
+        ),
     )
     trace_export.add_argument(
         "--out",
@@ -283,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="report raw failing traces without delta-debugging them",
     )
     verify.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "also check every fast-path machine's aggregate telemetry "
+            "record against the event-derived reduction"
+        ),
+    )
+    verify.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-seed progress; print only the summary",
@@ -355,6 +395,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_callback(progress_format: str, stream=None):
+    """A :class:`~repro.api.ProgressCallback` rendering to *stream*.
+
+    ``jsonl`` writes one JSON object per completed cell (machine-
+    readable, the seed of the serve-layer streaming API); ``human``
+    writes a live ticker -- carriage-return rewrites on a TTY, plain
+    lines otherwise.  Progress goes to stderr so table output on stdout
+    stays pipeable.
+    """
+    stream = stream if stream is not None else sys.stderr
+
+    if progress_format == "jsonl":
+        def emit_jsonl(event) -> None:
+            stream.write(json.dumps(event.to_payload(), sort_keys=True) + "\n")
+            stream.flush()
+
+        return emit_jsonl
+
+    interactive = getattr(stream, "isatty", lambda: False)()
+
+    def emit_human(event) -> None:
+        cell = (
+            f"loop {event.loop:>2} "
+            + (f"{event.machine}/" if event.machine else "limits/")
+            + event.config
+        )
+        line = (
+            f"[{event.completed:>3}/{event.total}] {event.table_id} "
+            f"{cell:<28} {event.seconds:7.3f}s"
+            + ("  (cached)" if event.result_hit else "")
+        )
+        if interactive:
+            stream.write("\r\x1b[2K" + line)
+            if event.completed == event.total:
+                stream.write("\n")
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+
+    return emit_human
+
+
 def run_tables(
     table: str,
     *,
@@ -363,6 +445,8 @@ def run_tables(
     cache: bool = True,
     observe: bool = True,
     backend: str = "auto",
+    progress: bool = False,
+    progress_format: str = "human",
 ) -> int:
     """The ``tables`` subcommand: print tables (or the section 3.3 quote)."""
     if table == "section33":
@@ -376,6 +460,7 @@ def run_tables(
             )
         return 0
 
+    callback = _progress_callback(progress_format) if progress else None
     targets = api.list_tables() if table == "all" else (table,)
     for table_id in targets:
         run = api.run_table(
@@ -385,6 +470,7 @@ def run_tables(
             cache=cache,
             observe=observe,
             backend=backend,
+            progress=callback,
         )
         print(run.render_report(compare=compare))
         print()
@@ -506,8 +592,24 @@ def run_sweep_cmd(args) -> int:
     return 0
 
 
-def run_stats(run_id: Optional[str], limit: int) -> int:
+def run_stats(
+    run_id: Optional[str], limit: int, fmt: str = "text"
+) -> int:
     """``stats`` without ``--kernel``: render the stored run manifests."""
+    if fmt == "openmetrics":
+        if run_id is not None:
+            manifest = api.find_run(run_id)
+        else:
+            runs = api.list_runs(limit=1)
+            manifest = runs[0] if runs else None
+        if manifest is None:
+            _set_pending_exit(2)
+            target = f"run matching {run_id!r}" if run_id else "observed runs"
+            print(f"error: no {target}", file=sys.stderr)
+            return 2
+        registry = MetricsRegistry.from_snapshot(manifest.metrics)
+        sys.stdout.write(registry.to_openmetrics())
+        return 0
     if run_id is not None:
         manifest = api.find_run(run_id)
         if manifest is None:
@@ -545,6 +647,8 @@ def run_trace_export(run_id: Optional[str], fmt: str, out: str) -> int:
         return 2
     if fmt == "chrome":
         payload = spans_to_chrome(manifest.spans)
+    elif fmt == "perfetto":
+        payload = spans_to_perfetto(manifest.spans)
     else:
         payload = {"run_id": manifest.run_id, "spans": manifest.spans}
     text = json.dumps(payload, indent=1, sort_keys=True)
@@ -583,6 +687,7 @@ def run_verify(args) -> int:
             shrink=not args.no_shrink,
             dump_dir=args.dump_dir,
             first_seed=args.first_seed,
+            check_telemetry=args.telemetry,
             log=log,
         )
     except ValueError as exc:
@@ -719,6 +824,8 @@ def _dispatch(args) -> int:
             cache=not args.no_cache,
             observe=not args.no_observe,
             backend=args.backend,
+            progress=args.progress or args.progress_format == "jsonl",
+            progress_format=args.progress_format,
         )
 
     if args.command == "sweep":
@@ -750,7 +857,7 @@ def _dispatch(args) -> int:
         if args.machine is not None:
             return run_machine_info(args.machine)
         if args.kernel is None:
-            return run_stats(args.run, args.limit)
+            return run_stats(args.run, args.limit, args.format)
         kwargs = _kernel_kwargs(args)
         kwargs.pop("explicit_addressing")
         print(format_stats(api.kernel_stats(args.kernel, **kwargs)))

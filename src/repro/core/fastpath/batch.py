@@ -50,6 +50,8 @@ import weakref
 from heapq import heappop, heappush
 from typing import Dict, List, Tuple
 
+from ...obs.telemetry import SimTelemetry
+from ...obs.telemetry import collecting as telemetry_collecting
 from ...trace import Trace
 from ..buses import BusKind
 from ..result import SimulationResult
@@ -66,7 +68,9 @@ from .ir import (
     _UNKNOWN,
     _unit_tables,
     compile_trace,
+    window_stats,
 )
+from .python_backend import _UNIT_NAMES, _closed_busy
 
 __all__ = ["BatchBackend"]
 
@@ -84,13 +88,14 @@ def _scalar_only(machine):
     raise scalar_only_error(machine.name)
 
 
-def _result(compiled, machine, config, cycles) -> SimulationResult:
+def _result(compiled, machine, config, cycles, detail=None) -> SimulationResult:
     return SimulationResult(
         trace_name=compiled.name,
         simulator=machine.name,
         config=config,
         instructions=compiled.n,
         cycles=cycles,
+        detail=detail if detail is not None else {},
     )
 
 
@@ -132,65 +137,183 @@ def _sweep_scoreboard(compiled, group) -> List[SimulationResult]:
     last_event = [0] * K
     records = [item.record for item in group]
 
-    for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus, _c in (
-        compiled.ops
-    ):
-        for k in range(K):
-            latency = p_lat[k][unit]
-            regs = reg_ready[k]
+    telemetry = telemetry_collecting()
 
-            earliest = next_issue[k]
-            for src in srcs:
-                ready = regs[src]
+    # Two copies of the recurrence, as in the ``python`` backend's
+    # scoreboard loop: the plain copy is the replay verbatim, the
+    # telemetry copy tags each issue-probe improvement with an integer
+    # reason code and attributes whole issue gaps in closed form
+    # (branch shadows pre-credited at the branch, refunded when a later
+    # relabelled gap absorbs them).
+    if not telemetry:
+        for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus, \
+                _c in compiled.ops:
+            for k in range(K):
+                latency = p_lat[k][unit]
+                regs = reg_ready[k]
+
+                earliest = next_issue[k]
+                for src in srcs:
+                    ready = regs[src]
+                    if ready > earliest:
+                        earliest = ready
+                if dest >= 0:
+                    ready = write_done[k][dest]
+                    if ready > earliest:
+                        earliest = ready
+                ready = fu_free[k][unit]
                 if ready > earliest:
                     earliest = ready
-            if dest >= 0:
-                ready = write_done[k][dest]
-                if ready > earliest:
-                    earliest = ready
-            ready = fu_free[k][unit]
-            if ready > earliest:
-                earliest = ready
-            if p_bus[k] and uses_bus:
-                reserved = bus_reserved[k]
-                heap = bus_heap[k]
-                front = next_issue[k]
-                while heap and heap[0] <= front:
-                    reserved.discard(heappop(heap))
-                while earliest + latency in reserved:
-                    earliest += 1
+                if p_bus[k] and uses_bus:
+                    reserved = bus_reserved[k]
+                    heap = bus_heap[k]
+                    front = next_issue[k]
+                    while heap and heap[0] <= front:
+                        reserved.discard(heappop(heap))
+                    while earliest + latency in reserved:
+                        earliest += 1
 
-            issue = earliest
-            complete = issue + latency + vl
-            if p_bus[k] and uses_bus:
-                bus_reserved[k].add(complete)
-                heappush(bus_heap[k], complete)
+                issue = earliest
 
-            if is_vector:
-                fu_free[k][unit] = issue + vl if p_pipe[k][unit] else complete
-            else:
-                fu_free[k][unit] = issue + 1 if p_pipe[k][unit] else complete
+                complete = issue + latency + vl
+                if p_bus[k] and uses_bus:
+                    bus_reserved[k].add(complete)
+                    heappush(bus_heap[k], complete)
 
-            if dest >= 0:
-                if is_vector and p_chain[k]:
-                    regs[dest] = issue + latency
+                if is_vector:
+                    fu_free[k][unit] = (
+                        issue + vl if p_pipe[k][unit] else complete
+                    )
                 else:
-                    regs[dest] = complete
-                write_done[k][dest] = complete
+                    fu_free[k][unit] = (
+                        issue + 1 if p_pipe[k][unit] else complete
+                    )
 
-            if is_branch:
-                next_issue[k] = issue + p_brlat[k]
-                complete = next_issue[k]
-            else:
-                next_issue[k] = issue + 1
+                if dest >= 0:
+                    if is_vector and p_chain[k]:
+                        regs[dest] = issue + latency
+                    else:
+                        regs[dest] = complete
+                    write_done[k][dest] = complete
 
-            if complete > last_event[k]:
-                last_event[k] = complete
-            if records[k] is not None:
-                records[k].append((issue, complete))
+                if is_branch:
+                    next_issue[k] = issue + p_brlat[k]
+                    complete = next_issue[k]
+                else:
+                    next_issue[k] = issue + 1
+
+                if complete > last_event[k]:
+                    last_event[k] = complete
+                if records[k] is not None:
+                    records[k].append((issue, complete))
+    else:
+        # reason codes: 0 NONE, 1 RAW, 2 WAW, 3 UNIT, 4 BUS, 5 BRANCH
+        t_acc = [[0] * 6 for _ in range(K)]
+        t_prev = [-1] * K
+        reason = 0
+        for unit, dest, srcs, is_branch, _taken, is_vector, vl, uses_bus, \
+                _c in compiled.ops:
+            for k in range(K):
+                latency = p_lat[k][unit]
+                regs = reg_ready[k]
+
+                front = next_issue[k]
+                earliest = front
+                for src in srcs:
+                    ready = regs[src]
+                    if ready > earliest:
+                        earliest = ready
+                        reason = 1
+                if dest >= 0:
+                    ready = write_done[k][dest]
+                    if ready > earliest:
+                        earliest = ready
+                        reason = 2
+                ready = fu_free[k][unit]
+                if ready > earliest:
+                    earliest = ready
+                    reason = 3
+                if p_bus[k] and uses_bus:
+                    reserved = bus_reserved[k]
+                    heap = bus_heap[k]
+                    while heap and heap[0] <= front:
+                        reserved.discard(heappop(heap))
+                    while earliest + latency in reserved:
+                        earliest += 1
+                        reason = 4
+
+                issue = earliest
+
+                # A positive gap implies a strict improvement set
+                # `reason` this iteration, so no per-op reseeding.
+                if issue > front:
+                    acc = t_acc[k]
+                    gap = issue - t_prev[k] - 1
+                    acc[reason] += gap
+                    shadow = gap - issue + front
+                    if shadow:
+                        acc[5] -= shadow
+                t_prev[k] = issue
+
+                complete = issue + latency + vl
+                if p_bus[k] and uses_bus:
+                    bus_reserved[k].add(complete)
+                    heappush(bus_heap[k], complete)
+
+                if is_vector:
+                    fu_free[k][unit] = (
+                        issue + vl if p_pipe[k][unit] else complete
+                    )
+                else:
+                    fu_free[k][unit] = (
+                        issue + 1 if p_pipe[k][unit] else complete
+                    )
+
+                if dest >= 0:
+                    if is_vector and p_chain[k]:
+                        regs[dest] = issue + latency
+                    else:
+                        regs[dest] = complete
+                    write_done[k][dest] = complete
+
+                if is_branch:
+                    next_issue[k] = issue + p_brlat[k]
+                    complete = next_issue[k]
+                    t_acc[k][5] += p_brlat[k] - 1
+                else:
+                    next_issue[k] = issue + 1
+
+                if complete > last_event[k]:
+                    last_event[k] = complete
+                if records[k] is not None:
+                    records[k].append((issue, complete))
+        if compiled.n and compiled.ops[-1][3]:
+            # The final branch's shadow has no successor to pay it.
+            for k in range(K):
+                t_acc[k][5] -= p_brlat[k] - 1
+
+    details: List[Dict[str, float]] = [{}] * K
+    if telemetry:
+        details = [
+            SimTelemetry(
+                instructions=compiled.n,
+                cycles=last_event[k],
+                stall_cycles={
+                    "RAW": t_acc[k][1],
+                    "WAW": t_acc[k][2],
+                    "UNIT": t_acc[k][3],
+                    "BUS": t_acc[k][4],
+                    "BRANCH": t_acc[k][5],
+                },
+                fu_busy_cycles=_closed_busy(compiled, p_lat[k], p_brlat[k]),
+                issue_width={1: compiled.n},
+            ).to_detail()
+            for k in range(K)
+        ]
 
     return [
-        _result(compiled, item.simulator, item.config, last_event[k])
+        _result(compiled, item.simulator, item.config, last_event[k],
+                details[k])
         for k, item in enumerate(group)
     ]
 
@@ -219,54 +342,143 @@ def _sweep_cdc6600(compiled, group) -> List[SimulationResult]:
     last_event = [0] * K
     records = [item.record for item in group]
 
-    for unit, dest, srcs, is_branch, _t, _v, _vl, _bus, _c in compiled.ops:
-        for k in range(K):
-            latency = p_lat[k][unit]
-            regs = reg_ready[k]
+    telemetry = telemetry_collecting()
 
-            earliest = next_issue[k]
-            ready = fu_free[k][unit]
-            if ready > earliest:
-                earliest = ready
-            if dest >= 0:
-                waw = regs[dest]
-                if waw > earliest:
-                    earliest = waw
-            if is_branch:
+    # Two copies of the recurrence (see the scoreboard sweep).  Busy
+    # spans are mostly closed-form: a non-branch op occupies its unit
+    # for ``latency`` cycles plus however long RAW delivery delays
+    # execution start (``start - issue``), and a branch for the branch
+    # latency exactly -- so the telemetry copy only accumulates the
+    # start-delay excess and adds the closed form at the end.
+    if not telemetry:
+        for unit, dest, srcs, is_branch, _t, _v, _vl, _bus, _c in (
+            compiled.ops
+        ):
+            for k in range(K):
+                latency = p_lat[k][unit]
+                regs = reg_ready[k]
+
+                earliest = next_issue[k]
+                ready = fu_free[k][unit]
+                if ready > earliest:
+                    earliest = ready
+                if dest >= 0:
+                    waw = regs[dest]
+                    if waw > earliest:
+                        earliest = waw
+                if is_branch:
+                    for src in srcs:
+                        ready = regs[src]
+                        if ready > earliest:
+                            earliest = ready
+
+                issue = earliest
+
+                start = issue
                 for src in srcs:
                     ready = regs[src]
-                    if ready > earliest:
-                        earliest = ready
+                    if ready > start:
+                        start = ready
+                complete = start + latency
 
-            issue = earliest
-
-            start = issue
-            for src in srcs:
-                ready = regs[src]
-                if ready > start:
-                    start = ready
-            complete = start + latency
-
-            if is_branch:
-                next_issue[k] = issue + p_brlat[k]
-                complete = next_issue[k]
-                fu_free[k][unit] = issue + 1
-            else:
-                next_issue[k] = issue + 1
-                if unit == _MEMORY:
-                    fu_free[k][unit] = start + 1
+                if is_branch:
+                    next_issue[k] = issue + p_brlat[k]
+                    complete = next_issue[k]
+                    fu_free[k][unit] = issue + 1
                 else:
-                    fu_free[k][unit] = complete if p_holds[k] else start + 1
-                if dest >= 0:
-                    regs[dest] = complete
+                    next_issue[k] = issue + 1
+                    if unit == _MEMORY:
+                        fu_free[k][unit] = start + 1
+                    else:
+                        fu_free[k][unit] = (
+                            complete if p_holds[k] else start + 1
+                        )
+                    if dest >= 0:
+                        regs[dest] = complete
 
-            if complete > last_event[k]:
-                last_event[k] = complete
-            if records[k] is not None:
-                records[k].append((issue, complete))
+                if complete > last_event[k]:
+                    last_event[k] = complete
+                if records[k] is not None:
+                    records[k].append((issue, complete))
+    else:
+        t_extra = [[0] * n_units for _ in range(K)]
+        for unit, dest, srcs, is_branch, _t, _v, _vl, _bus, _c in (
+            compiled.ops
+        ):
+            for k in range(K):
+                latency = p_lat[k][unit]
+                regs = reg_ready[k]
+
+                earliest = next_issue[k]
+                ready = fu_free[k][unit]
+                if ready > earliest:
+                    earliest = ready
+                if dest >= 0:
+                    waw = regs[dest]
+                    if waw > earliest:
+                        earliest = waw
+                if is_branch:
+                    for src in srcs:
+                        ready = regs[src]
+                        if ready > earliest:
+                            earliest = ready
+
+                issue = earliest
+
+                start = issue
+                for src in srcs:
+                    ready = regs[src]
+                    if ready > start:
+                        start = ready
+                complete = start + latency
+                if start > issue:
+                    # RAW delivery held the unit past its closed-form
+                    # span.  (Branches never take this path: their
+                    # issue already waited on every source.)
+                    t_extra[k][unit] += start - issue
+
+                if is_branch:
+                    next_issue[k] = issue + p_brlat[k]
+                    complete = next_issue[k]
+                    fu_free[k][unit] = issue + 1
+                else:
+                    next_issue[k] = issue + 1
+                    if unit == _MEMORY:
+                        fu_free[k][unit] = start + 1
+                    else:
+                        fu_free[k][unit] = (
+                            complete if p_holds[k] else start + 1
+                        )
+                    if dest >= 0:
+                        regs[dest] = complete
+
+                if complete > last_event[k]:
+                    last_event[k] = complete
+                if records[k] is not None:
+                    records[k].append((issue, complete))
+
+    details: List[Dict[str, float]] = [{}] * K
+    if telemetry:
+        details = []
+        for k in range(K):
+            busy = _closed_busy(compiled, p_lat[k], p_brlat[k])
+            for u in range(n_units):
+                if t_extra[k][u]:
+                    name = _UNIT_NAMES[u]
+                    busy[name] = busy.get(name, 0) + t_extra[k][u]
+            details.append(
+                SimTelemetry(
+                    instructions=compiled.n,
+                    cycles=max(last_event[k], 1),
+                    stall_cycles={},
+                    fu_busy_cycles=busy,
+                    issue_width={1: compiled.n},
+                ).to_detail()
+            )
 
     return [
-        _result(compiled, item.simulator, item.config, max(last_event[k], 1))
+        _result(compiled, item.simulator, item.config, max(last_event[k], 1),
+                details[k])
         for k, item in enumerate(group)
     ]
 
@@ -303,6 +515,15 @@ def _sweep_inorder(compiled, units, group) -> List[SimulationResult]:
     cycles = [0] * K
     last_event = [0] * K
     records = [item.record for item in group]
+
+    telemetry = telemetry_collecting()
+    # Buffer shape (occupancy, flushes) is config-independent and comes
+    # from the shared per-trace cache.  Issue-width run lengths depend
+    # on latencies, so they stay per spec; runs never exceed the buffer
+    # width, so the histograms live in flat lists.
+    t_run = [0] * K
+    t_run_cycle = [-1] * K
+    t_width: List[List[int]] = [[0] * (units + 1) for _ in range(K)]
 
     ops = compiled.ops
     n_entries = compiled.n
@@ -363,6 +584,18 @@ def _sweep_inorder(compiled, units, group) -> List[SimulationResult]:
                     heappush(heap, (target, chosen))
 
                 cycle = earliest
+                if telemetry:
+                    # Issue cycles are globally nondecreasing, so equal
+                    # neighbours form one multi-issue cycle: run-length
+                    # encode them into the width histogram.
+                    if cycle == t_run_cycle[k]:
+                        t_run[k] += 1
+                    else:
+                        run = t_run[k]
+                        if run:
+                            t_width[k][run] += 1
+                        t_run[k] = 1
+                        t_run_cycle[k] = cycle
                 complete = cycle + latency
                 fu_free[k][unit] = cycle + 1
                 if dest >= 0:
@@ -393,8 +626,34 @@ def _sweep_inorder(compiled, units, group) -> List[SimulationResult]:
             for k in range(K):
                 cycles[k] += 1
 
+    details: List[Dict[str, float]] = [{}] * K
+    if telemetry:
+        t_occ, t_flushes, t_flush_cycles = window_stats(compiled, units)
+        details = []
+        for k in range(K):
+            run = t_run[k]
+            if run:
+                t_width[k][run] += 1
+            details.append(
+                SimTelemetry(
+                    instructions=compiled.n,
+                    cycles=max(last_event[k], 1),
+                    stall_cycles={},
+                    fu_busy_cycles=_closed_busy(
+                        compiled, p_lat[k], p_brlat[k]
+                    ),
+                    issue_width={
+                        w: c for w, c in enumerate(t_width[k]) if c
+                    },
+                    occupancy=t_occ,
+                    flushes=t_flushes,
+                    flush_cycles=t_flush_cycles,
+                ).to_detail()
+            )
+
     return [
-        _result(compiled, item.simulator, item.config, max(last_event[k], 1))
+        _result(compiled, item.simulator, item.config, max(last_event[k], 1),
+                details[k])
         for k, item in enumerate(group)
     ]
 
@@ -582,6 +841,22 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
 
     buffers = _ooo_plan(compiled, units, enforce_war)
 
+    telemetry = telemetry_collecting()
+    # Buffer occupancy and taken-branch flushes depend only on the
+    # taken flags (shared per-trace cache); single-slot buffers always
+    # issue alone, so their width-1 contribution is one count, not one
+    # dict update per buffer per spec.
+    t_occ: Dict[int, int] = {}
+    t_flushes = 0
+    t_flush_cycles = 0
+    t_singles = 0
+    if telemetry:
+        t_occ, t_flushes, t_flush_cycles = window_stats(compiled, units)
+        for _pos, tag, _payload, _fm in buffers:
+            if tag == _SINGLE:
+                t_singles += 1
+    t_details: List[Dict[str, float]] = [{}] * K
+
     # ------------------------------------------------------------------
     # Phase 2: replay the records once per sweep member.
     # ------------------------------------------------------------------
@@ -612,6 +887,11 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
         cycle = 0
         last_event = 0
         closed_ok = nb != 1 and not xb
+        # Scan passes issue at most `units` slots, so width counts live
+        # in a flat list; single-slot buffers are added once at the end.
+        t_width = [0] * (units + 1)
+        t_cs: List[int] = []
+        t_cs_append = t_cs.append
 
         for pos, tag, payload, full_mask in buffers:
             if tag == _SINGLE:
@@ -704,9 +984,33 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
                         last_event = complete
                     if c > maxc:
                         maxc = c
+                    if telemetry:
+                        t_cs_append(c)
                     if track:
                         issue_k[pos + slot] = c
                         complete_k[pos + slot] = complete
+                if telemetry:
+                    # Slots may share an issue cycle only within this
+                    # buffer (the next one starts past ``maxc``), so the
+                    # per-buffer multiset gives the per-cycle widths;
+                    # pairwise counting over <= `units` entries beats a
+                    # per-slot dict by a wide margin.
+                    m = len(t_cs)
+                    if m == 1:
+                        t_width[1] += 1
+                    else:
+                        counted = 0
+                        for i in range(m):
+                            if counted >> i & 1:
+                                continue
+                            ci = t_cs[i]
+                            run = 1
+                            for j in range(i + 1, m):
+                                if t_cs[j] == ci:
+                                    run += 1
+                                    counted |= 1 << j
+                            t_width[run] += 1
+                    t_cs.clear()
                 cycle = maxc + 1
                 continue
 
@@ -723,6 +1027,7 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
                         )
                     progressed = False
                     nxt = -1
+                    before = unissued
                     for slot, (bit, dep, unit, dest, srcs) in enumerate(
                         payload
                     ):
@@ -806,6 +1111,14 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
                             complete_k[pos + slot] = complete
                         if not unissued:
                             break
+                    if telemetry:
+                        # Scan passes visit strictly increasing cycles,
+                        # so the issues of one pass are one cycle's
+                        # issue width (issued bits = before ^ unissued,
+                        # since unissued only ever loses bits).
+                        issued = (before ^ unissued).bit_count()
+                        if issued:
+                            t_width[issued] += 1
                     if unissued:
                         if progressed:
                             cycle += 1
@@ -828,6 +1141,7 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
                     )
                 progressed = False
                 nxt = -1
+                before = unissued
                 for slot, (
                     bit, dep, bb, brs, unit, dest, srcs, isbr
                 ) in enumerate(payload):
@@ -931,6 +1245,10 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
                             complete_k[pos + slot] = complete
                     if not unissued:
                         break
+                if telemetry:
+                    issued = (before ^ unissued).bit_count()
+                    if issued:
+                        t_width[issued] += 1
                 if unissued:
                     if progressed:
                         cycle += 1
@@ -942,6 +1260,18 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
             cycle = cycle + 1 if cycle + 1 > barrier else barrier
 
         last_events[k] = last_event
+        if telemetry:
+            t_width[1] += t_singles
+            t_details[k] = SimTelemetry(
+                instructions=compiled.n,
+                cycles=max(last_event, 1),
+                stall_cycles={},
+                fu_busy_cycles=_closed_busy(compiled, latencies, brlat),
+                issue_width={w: c for w, c in enumerate(t_width) if c},
+                occupancy=t_occ,
+                flushes=t_flushes,
+                flush_cycles=t_flush_cycles,
+            ).to_detail()
 
     results = []
     for k, item in enumerate(group):
@@ -949,7 +1279,7 @@ def _sweep_ooo(compiled, units, enforce_war, group) -> List[SimulationResult]:
             item.record.extend(zip(issue_at[k], complete_at[k]))
         results.append(
             _result(compiled, item.simulator, item.config,
-                    max(last_events[k], 1))
+                    max(last_events[k], 1), t_details[k])
         )
     return results
 

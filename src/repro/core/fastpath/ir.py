@@ -38,6 +38,8 @@ __all__ = [
     "Schedule",
     "UNITS",
     "compile_trace",
+    "unit_profile",
+    "window_stats",
 ]
 
 # ----------------------------------------------------------------------
@@ -174,6 +176,113 @@ def compile_trace(trace: Trace) -> CompiledTrace:
 
     _CACHE[key] = (weakref.ref(trace, _evict), compiled)
     return compiled
+
+
+#: Per-unit op-count profiles keyed by ``id(compiled)``; weakref-validated
+#: and -evicted exactly like :data:`_CACHE`.
+_PROFILES: Dict[int, Tuple["weakref.ref[CompiledTrace]", tuple]] = {}
+
+
+def unit_profile(
+    compiled: CompiledTrace,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Per-unit ``(non-branch ops, vector-length sum, branch ops)``.
+
+    The telemetry closed forms use this to turn "cycles each unit was
+    busy" into per-unit arithmetic: for machines whose per-op busy span
+    is ``latency (+ vector length)`` for non-branches and the branch
+    latency for branches, total busy per unit is
+    ``count*latency + vl_sum`` plus ``branches*branch_latency`` --
+    config-dependent only through the latency tables, so the counts are
+    cached per compiled trace.
+    """
+    key = id(compiled)
+    hit = _PROFILES.get(key)
+    if hit is not None and hit[0]() is compiled:
+        return hit[1]
+
+    n_units = len(UNITS)
+    counts = [0] * n_units
+    vl_sums = [0] * n_units
+    branches = [0] * n_units
+    for unit, _d, _s, is_branch, _t, _v, vl, _b, _c in compiled.ops:
+        if is_branch:
+            branches[unit] += 1
+        else:
+            counts[unit] += 1
+            vl_sums[unit] += vl
+
+    profile = (tuple(counts), tuple(vl_sums), tuple(branches))
+
+    def _evict(_ref: object, _key: int = key) -> None:
+        _PROFILES.pop(_key, None)
+
+    _PROFILES[key] = (weakref.ref(compiled, _evict), profile)
+    return profile
+
+
+#: Fetch-window statistics keyed by ``id(compiled)`` then issue width;
+#: weakref-validated and -evicted exactly like :data:`_CACHE`.
+_WINDOWS: Dict[int, Tuple["weakref.ref[CompiledTrace]", Dict[int, tuple]]] = {}
+
+
+def window_stats(
+    compiled: CompiledTrace, units: int
+) -> Tuple[Dict[int, int], int, int]:
+    """``(occupancy histogram, flushes, flush cycles)`` for a fetch
+    window of *units* slots.
+
+    The windowed machines (in-order and out-of-order multiple issue)
+    fill fetch buffers of up to *units* instructions, cut after the
+    first taken branch -- a pure function of the compiled ``taken``
+    flags, independent of the machine config, so the telemetry loops
+    share one cached walk per (trace, width) instead of recounting
+    buffers on every replay.  A taken-branch cut flushes the unfilled
+    remainder of the buffer (possibly zero slots), matching the
+    reference loops' FLUSH events.
+    """
+    key = id(compiled)
+    hit = _WINDOWS.get(key)
+    if hit is not None and hit[0]() is compiled:
+        per_width = hit[1]
+        cached = per_width.get(units)
+        if cached is not None:
+            return cached
+    else:
+        per_width = {}
+
+        def _evict(_ref: object, _key: int = key) -> None:
+            _WINDOWS.pop(_key, None)
+
+        _WINDOWS[key] = (weakref.ref(compiled, _evict), per_width)
+
+    ops = compiled.ops
+    n = compiled.n
+    occupancy: Dict[int, int] = {}
+    flushes = 0
+    flush_cycles = 0
+    pos = 0
+    while pos < n:
+        end = pos + units
+        if end > n:
+            end = n
+        length = 0
+        cut = False
+        for index in range(pos, end):
+            length += 1
+            op = ops[index]
+            if op[3] and op[4]:
+                cut = True
+                break
+        occupancy[length] = occupancy.get(length, 0) + 1
+        if cut:
+            flushes += 1
+            flush_cycles += units - length
+        pos += length
+
+    stats = (occupancy, flushes, flush_cycles)
+    per_width[units] = stats
+    return stats
 
 
 def _unit_tables(

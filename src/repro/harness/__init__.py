@@ -8,6 +8,7 @@ from .aggregate import (
 )
 from .engine import EngineStats, PlanRun, run_plan
 from .plans import PLAN_BUILDERS, Cell, ExperimentPlan, build_plan
+from .progress import ProgressCallback, ProgressEvent
 from .experiments import (
     EXPERIMENTS,
     class_traces,
@@ -34,6 +35,8 @@ __all__ = [
     "PAPER_TABLES",
     "PLAN_BUILDERS",
     "PlanRun",
+    "ProgressCallback",
+    "ProgressEvent",
     "ResultTable",
     "arithmetic_mean",
     "build_plan",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from datetime import datetime, timezone
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -40,6 +40,7 @@ from ..core.registry import build_simulator
 from ..kernels import build_kernel
 from ..limits import compute_limits
 from ..obs import (
+    TELEMETRY_PREFIX,
     MetricsRegistry,
     RunManifest,
     Tracer,
@@ -50,11 +51,13 @@ from ..obs import (
 from ..trace import DiskCache, Trace, default_cache_dir
 from .aggregate import harmonic_mean
 from .plans import Cell, ExperimentPlan
+from .progress import ProgressCallback, ProgressEvent
 from .tables import ResultTable
 
 #: Bump to invalidate previously stored cell results after a change to
-#: the timing models or the record schema.
-RESULT_SCHEMA_VERSION = 1
+#: the timing models or the record schema.  v2: cell records carry the
+#: result's ``detail`` mapping (fast-path ``tlm.*`` telemetry included).
+RESULT_SCHEMA_VERSION = 2
 
 _LIMIT_COLUMNS = ("pseudo-dataflow", "resource", "actual")
 
@@ -83,6 +86,26 @@ def _fastpath_deltas(
         if delta:
             deltas[f"fastpath.{key}"] = float(delta)
     return deltas
+
+
+def _telemetry_metrics(record: Mapping[str, Any]) -> Dict[str, float]:
+    """A cell record's ``tlm.*`` detail entries as ``sim.*`` metrics.
+
+    The rename marks the aggregation boundary: per-replay telemetry
+    (``tlm.stall.RAW`` on one result) becomes a run-level counter
+    (``sim.stall.RAW`` summed over every cell), alongside the
+    ``cache.*`` / ``fastpath.*`` counters in manifests and
+    ``repro stats``.
+    """
+    detail = record.get("detail")
+    if not detail:
+        return {}
+    plen = len(TELEMETRY_PREFIX)
+    return {
+        "sim." + key[plen:]: float(value)
+        for key, value in detail.items()
+        if key.startswith(TELEMETRY_PREFIX)
+    }
 
 
 def default_workers() -> int:
@@ -214,6 +237,7 @@ def _compute_record(
         "simulator": result.simulator,
         "instructions": result.instructions,
         "cycles": result.cycles,
+        "detail": dict(result.detail or {}),
     }, source
 
 
@@ -246,7 +270,10 @@ def evaluate_cell(
     spans: List[Tuple[str, float, float]] = []
 
     def finish(
-        values: Mapping[str, float], result_hit: bool, trace_source: str
+        values: Mapping[str, float],
+        result_hit: bool,
+        trace_source: str,
+        telemetry: Optional[Mapping[str, float]] = None,
     ) -> CellOutcome:
         ended = time.monotonic()
         metrics: Dict[str, float] = {}
@@ -257,6 +284,8 @@ def evaluate_cell(
                 if delta:
                     metrics[name] = float(delta)
         metrics.update(_fastpath_deltas(fastpath_before, fastpath.stats()))
+        if telemetry:
+            metrics.update(telemetry)
         return CellOutcome(
             index=index,
             values=values,
@@ -275,7 +304,9 @@ def evaluate_cell(
     if record is not None:
         try:
             values = _values_from_record(cell, record)
-            return finish(values, True, "cached-result")
+            return finish(
+                values, True, "cached-result", _telemetry_metrics(record)
+            )
         except (KeyError, TypeError, ValueError, ZeroDivisionError):
             # A record that does not decode cleanly is treated exactly
             # like a miss: recompute and overwrite it.
@@ -283,7 +314,10 @@ def evaluate_cell(
     record, source = _compute_record(cell, cache, spans)
     if cache is not None:
         cache.store_result(cell_key(cell), record)
-    return finish(_values_from_record(cell, record), False, source)
+    return finish(
+        _values_from_record(cell, record), False, source,
+        _telemetry_metrics(record),
+    )
 
 
 def evaluate_sweep(
@@ -328,6 +362,7 @@ def evaluate_sweep(
         if record is not None:
             try:
                 values = _values_from_record(cell, record)
+                hit_telemetry = _telemetry_metrics(record)
             except (KeyError, TypeError, ValueError, ZeroDivisionError):
                 values = None
             if values is not None:
@@ -342,7 +377,7 @@ def evaluate_sweep(
                     queue_wait=queue_wait if not outcomes else 0.0,
                     started=started,
                     ended=now,
-                    metrics=lookup_delta,
+                    metrics={**lookup_delta, **hit_telemetry},
                 ))
                 start = time.perf_counter()
                 started = now
@@ -385,15 +420,23 @@ def evaluate_sweep(
 
     ended = time.monotonic()
     share = (time.perf_counter() - start) / len(pending)
-    for position, ((index, cell), result) in enumerate(zip(pending, results)):
+    records: List[Dict[str, Any]] = []
+    for (index, cell), result in zip(pending, results):
         record = {
             "trace": result.trace_name,
             "simulator": result.simulator,
             "instructions": result.instructions,
             "cycles": result.cycles,
+            "detail": dict(result.detail or {}),
         }
+        records.append(record)
         if cache is not None:
             cache.store_result(cell_key(cell), record)
+        # The whole sweep's telemetry rides with the shared metrics (on
+        # the first miss outcome), like the fast-path counter deltas.
+        for name, value in _telemetry_metrics(record).items():
+            metrics[name] = metrics.get(name, 0.0) + value
+    for position, ((index, cell), record) in enumerate(zip(pending, records)):
         outcomes.append(CellOutcome(
             index=index,
             values=_values_from_record(cell, record),
@@ -660,6 +703,7 @@ def run_plan(
     cache: Optional[DiskCache] = None,
     observe: bool = False,
     backend: str = "auto",
+    progress: Optional[ProgressCallback] = None,
 ) -> PlanRun:
     """Evaluate every cell of *plan* and merge deterministically.
 
@@ -673,6 +717,11 @@ def run_plan(
     With ``observe=True`` the run also records a span trace and writes a
     :class:`~repro.obs.manifest.RunManifest` under the cache root
     (``<root>/manifests``), returned on the :class:`PlanRun`.
+
+    *progress* receives one :class:`~repro.harness.progress.ProgressEvent`
+    per completed cell, in the parent process, as results arrive
+    (completion order across groups; plan order within a group).  The
+    merge stays deterministic regardless.
     """
     workers = default_workers() if workers is None else max(1, int(workers))
     run_started = time.monotonic()
@@ -682,49 +731,72 @@ def run_plan(
         (is_sweep, group, time.monotonic()) for is_sweep, group in groups
     ]
 
+    total = len(plan.cells)
+    completed = 0
+
+    def emit(batch: List[CellOutcome]) -> None:
+        nonlocal completed
+        if progress is None:
+            completed += len(batch)
+            return
+        for outcome in sorted(batch, key=lambda o: o.index):
+            completed += 1
+            cell = plan.cells[outcome.index]
+            progress(ProgressEvent(
+                table_id=plan.table_id,
+                completed=completed,
+                total=total,
+                index=outcome.index,
+                loop=cell.loop,
+                machine="" if cell.is_limits else cell.machine,
+                config=cell.config,
+                row=cell.row,
+                seconds=outcome.seconds,
+                result_hit=outcome.result_hit,
+                pid=outcome.pid,
+            ))
+
     if workers == 1 or len(payloads) <= 1:
         outcomes = []
         for is_sweep, group, enqueued in payloads:
             if is_sweep:
-                outcomes.extend(evaluate_sweep(
+                batch = evaluate_sweep(
                     group, cache, backend=backend, enqueued=enqueued
-                ))
+                )
             else:
                 index, cell = group[0]
-                outcomes.append(
+                batch = [
                     evaluate_cell(index, cell, cache, enqueued=enqueued)
-                )
+                ]
+            outcomes.extend(batch)
+            emit(batch)
     else:
         cache_dir = str(cache.root) if cache is not None else None
-        cell_payloads = [
-            (group[0][0], group[0][1], enqueued)
-            for is_sweep, group, enqueued in payloads
-            if not is_sweep
-        ]
-        sweep_payloads = [
-            (group, backend, enqueued)
-            for is_sweep, group, enqueued in payloads
-            if is_sweep
-        ]
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_init,
             initargs=(cache_dir,),
         ) as pool:
+            # One future per group, collected as they complete, so the
+            # progress stream ticks while the pool is still busy.
+            futures = {}
+            for is_sweep, group, enqueued in payloads:
+                if is_sweep:
+                    future = pool.submit(
+                        _evaluate_sweep_in_pool, (group, backend, enqueued)
+                    )
+                else:
+                    future = pool.submit(
+                        _evaluate_in_pool,
+                        (group[0][0], group[0][1], enqueued),
+                    )
+                futures[future] = is_sweep
             outcomes = []
-            sweep_results = None
-            if sweep_payloads:
-                sweep_results = pool.map(
-                    _evaluate_sweep_in_pool, sweep_payloads, chunksize=1
-                )
-            if cell_payloads:
-                chunk = max(1, len(cell_payloads) // (workers * 4))
-                outcomes.extend(pool.map(
-                    _evaluate_in_pool, cell_payloads, chunksize=chunk
-                ))
-            if sweep_results is not None:
-                for group_outcomes in sweep_results:
-                    outcomes.extend(group_outcomes)
+            for future in as_completed(futures):
+                result = future.result()
+                batch = result if futures[future] else [result]
+                outcomes.extend(batch)
+                emit(batch)
 
     table = merge_outcomes(plan, outcomes)
     run_ended = time.monotonic()

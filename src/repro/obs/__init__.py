@@ -14,12 +14,23 @@ wall time, cache traffic and simulator cycles go:
 * :mod:`repro.obs.events` -- typed issue/stall/complete/flush events
   emitted by every timing simulator through an optional ``on_event``
   hook; :mod:`repro.analysis` consumes the same stream.
+* :mod:`repro.obs.telemetry` -- closed-form aggregate telemetry
+  (:class:`SimTelemetry`): stall/busy/width/occupancy attribution the
+  compiled fast loops fill with O(instructions) work and the reference
+  loops derive from their event streams, making attribution available
+  at fast-path speed.
 * :mod:`repro.obs.manifest` -- durable per-run manifests (config, git
   SHA, timings, metric snapshots) written next to the cache entries and
   rendered by ``repro stats``.
 """
 
 from .events import EventCallback, EventCollector, EventKind, SimEvent, tee
+from .telemetry import (
+    SimTelemetry,
+    TELEMETRY_PREFIX,
+    strip_telemetry,
+    telemetry_from_events,
+)
 from .manifest import (
     RunManifest,
     current_git_sha,
@@ -38,7 +49,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .tracing import Span, Tracer, spans_to_chrome
+from .tracing import Span, Tracer, spans_to_chrome, spans_to_perfetto
 
 __all__ = [
     "Counter",
@@ -51,7 +62,9 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "SimEvent",
+    "SimTelemetry",
     "Span",
+    "TELEMETRY_PREFIX",
     "Tracer",
     "current_git_sha",
     "find_manifest",
@@ -61,6 +74,9 @@ __all__ = [
     "manifest_dir",
     "new_run_id",
     "spans_to_chrome",
+    "spans_to_perfetto",
+    "strip_telemetry",
     "tee",
+    "telemetry_from_events",
     "write_manifest",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import re
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -38,6 +39,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
 ]
+
+_OM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _om_name(name: str) -> str:
+    """Sanitise a dotted metric name to the OpenMetrics charset."""
+    sanitised = _OM_INVALID.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _om_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
 
 #: Default histogram layout for wall-time observations (seconds).
 DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
@@ -223,6 +246,52 @@ class MetricsRegistry:
         registry = cls()
         registry.merge(snapshot)
         return registry
+
+    def to_openmetrics(self) -> str:
+        """Render every metric as an OpenMetrics text exposition.
+
+        Counters become ``<name>_total`` samples, gauges plain samples,
+        histograms cumulative ``_bucket{le="..."}`` series plus
+        ``_sum``/``_count``; dotted names are sanitised to the
+        OpenMetrics charset (dots to underscores).  The exposition ends
+        with ``# EOF`` as the spec requires, so Prometheus (or any
+        OpenMetrics parser) can scrape a ``repro stats --format
+        openmetrics`` dump without bespoke parsing.
+        """
+        with self._lock:
+            counters = {k: c.value for k, c in self._counters.items()}
+            gauges = {k: g.value for k, g in self._gauges.items()}
+            histograms = {
+                k: (h.buckets, tuple(h.counts), h.sum, h.count)
+                for k, h in self._histograms.items()
+            }
+        lines: List[str] = []
+        for name in sorted(counters):
+            metric = _om_name(name)
+            # The metric name excludes the _total suffix; the sample
+            # carries it.  Strip a pre-existing one so "x.seconds_total"
+            # does not expose "x_seconds_total_total".
+            if metric.endswith("_total"):
+                metric = metric[: -len("_total")]
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {_om_number(counters[name])}")
+        for name in sorted(gauges):
+            metric = _om_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_om_number(gauges[name])}")
+        for name in sorted(histograms):
+            metric = _om_name(name)
+            buckets, counts, total, count = histograms[name]
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(buckets, counts):
+                cumulative += bucket_count
+                le = "+Inf" if bound == math.inf else _om_number(bound)
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric}_sum {_om_number(total)}")
+            lines.append(f"{metric}_count {count}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:

@@ -14,7 +14,10 @@ Two export formats:
   the run manifest;
 * :func:`spans_to_chrome` -- the Chrome ``trace_event`` format (load the
   file in ``chrome://tracing`` or https://ui.perfetto.dev), produced by
-  ``python -m repro trace-export``.
+  ``python -m repro trace-export``;
+* :func:`spans_to_perfetto` -- the same events plus process/thread
+  naming metadata, so Perfetto labels one track per worker
+  (``repro trace-export --format perfetto``).
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
-__all__ = ["Span", "Tracer", "spans_to_chrome"]
+__all__ = ["Span", "Tracer", "spans_to_chrome", "spans_to_perfetto"]
 
 
 @dataclass
@@ -181,3 +184,38 @@ def spans_to_chrome(
         "traceEvents": events,
         "displayTimeUnit": "ms",
     }
+
+
+def spans_to_perfetto(
+    spans: Sequence[Mapping[str, Any]], *, default_pid: int = 0
+) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON with named per-worker tracks.
+
+    Same complete events as :func:`spans_to_chrome`, prefixed with
+    ``"ph": "M"`` ``process_name``/``thread_name`` metadata: the pid
+    that owns a root span is labelled as the engine parent, every other
+    pid as a worker, so Perfetto renders one labelled track per process
+    instead of bare numbers.
+    """
+    payload = spans_to_chrome(spans, default_pid=default_pid)
+    records = [Span.from_dict(s) for s in spans]
+    root_pids = {
+        s.pid or default_pid for s in records if s.parent_id is None
+    }
+    metadata: List[Dict[str, Any]] = []
+    for pid in sorted({s.pid or default_pid for s in records if s.end is not None}):
+        label = (
+            f"repro engine (pid {pid})"
+            if pid in root_pids
+            else f"repro worker (pid {pid})"
+        )
+        for kind in ("process_name", "thread_name"):
+            metadata.append({
+                "name": kind,
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            })
+    payload["traceEvents"] = metadata + payload["traceEvents"]
+    return payload

@@ -62,6 +62,8 @@ from ..core.base import Simulator
 from ..core.config import MachineConfig
 from ..core.registry import build_simulator
 from ..limits import pseudo_dataflow_schedule, resource_limit
+from ..obs.events import EventCollector
+from ..obs.telemetry import SimTelemetry, telemetry_from_events
 from ..trace import Trace
 
 #: The machine set `repro verify` replays by default: every fixed
@@ -160,6 +162,7 @@ def run_oracle(
     edges: Sequence[OrderingEdge] = DEFAULT_EDGES,
     *,
     simulators: Optional[Mapping[str, Simulator]] = None,
+    check_telemetry: bool = False,
 ) -> OracleReport:
     """Replay *trace* through *machines* and check bounds and orderings.
 
@@ -167,6 +170,13 @@ def run_oracle(
     caller can verify any subset.  *simulators* substitutes specific
     instances by spec (the test suite injects deliberately broken
     machines this way).
+
+    With *check_telemetry* the fastpath-dual replay runs through the
+    event stream instead of the bare reference loop: one observed replay
+    then serves both the cycle-equality check and a field-by-field
+    comparison of the fast loop's aggregate :class:`~repro.obs.telemetry.
+    SimTelemetry` record against the event-derived reduction -- the
+    nightly telemetry-equality oracle.
 
     The trace is lowered once up front (a strong reference pins the
     compile-cache entry for the whole run), so the limit calculators,
@@ -228,7 +238,16 @@ def run_oracle(
 
         reference = getattr(sim, "reference_simulate", None)
         if reference is not None:
-            ref_cycles = reference(trace, config).cycles
+            family = fastpath.family_of(sim)
+            collector: Optional[EventCollector] = None
+            if check_telemetry and family is not None:
+                # One observed replay serves both the cycle-equality
+                # check and the telemetry reduction below.
+                collector = EventCollector()
+                ref_result = sim.simulate_observed(trace, config, collector)
+            else:
+                ref_result = reference(trace, config)
+            ref_cycles = ref_result.cycles
             if result.cycles != ref_cycles:
                 report.violations.append(
                     OracleViolation(
@@ -244,6 +263,41 @@ def run_oracle(
                         ),
                     )
                 )
+            elif collector is not None:
+                fast_telemetry = SimTelemetry.from_detail(result.detail)
+                if fast_telemetry is not None:
+                    expected = telemetry_from_events(
+                        collector.events,
+                        trace=trace,
+                        cycles=ref_cycles,
+                        family=family,
+                        issue_units=getattr(sim, "issue_units", 0),
+                    )
+                    if fast_telemetry != expected:
+                        fields = [
+                            name
+                            for name in (
+                                "instructions", "cycles", "stall_cycles",
+                                "fu_busy_cycles", "issue_width",
+                                "occupancy", "flushes", "flush_cycles",
+                            )
+                            if getattr(fast_telemetry, name)
+                            != getattr(expected, name)
+                        ]
+                        report.violations.append(
+                            OracleViolation(
+                                check="telemetry",
+                                machine=spec,
+                                config=config.name,
+                                trace_name=trace.name,
+                                message=(
+                                    "fast-path telemetry diverges from the "
+                                    "event-derived record in "
+                                    f"{', '.join(fields)}; the aggregate "
+                                    "counters must be bit-identical"
+                                ),
+                            )
+                        )
 
         if spec.split(":", 1)[0] in _BOUND_EXEMPT_HEADS:
             continue

@@ -41,6 +41,9 @@ class VerifyOptions:
         dump_dir: where shrunk reproducer traces are written
             (``None`` disables dumping).
         first_seed: base seed (lets CI shards cover disjoint ranges).
+        check_telemetry: additionally compare each fast-path machine's
+            aggregate telemetry record against the event-derived
+            reduction (the nightly telemetry-equality oracle).
     """
 
     seeds: int = 50
@@ -50,6 +53,7 @@ class VerifyOptions:
     shrink: bool = True
     dump_dir: Optional[Path] = None
     first_seed: int = 0
+    check_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -108,6 +112,8 @@ def _first_violation(
     trace: Trace,
     config: MachineConfig,
     machines: Sequence[str],
+    *,
+    check_telemetry: bool = False,
 ):
     """All-layer check pass; returns (violation, checks_run) with the
     first violation found (or None).
@@ -124,7 +130,10 @@ def _first_violation(
         if violations:
             return violations[0], checks
     checks += 1
-    oracle = run_oracle(trace, config, machines, DEFAULT_EDGES)
+    oracle = run_oracle(
+        trace, config, machines, DEFAULT_EDGES,
+        check_telemetry=check_telemetry,
+    )
     if oracle.violations:
         return oracle.violations[0], checks
     return None, checks
@@ -134,6 +143,8 @@ def _still_fails_same_way(
     signature: Tuple[str, str],
     config: MachineConfig,
     machines: Sequence[str],
+    *,
+    check_telemetry: bool = False,
 ) -> Callable[[Trace], bool]:
     check_id, machine = signature
 
@@ -145,11 +156,13 @@ def _still_fails_same_way(
                 "dataflow-bound",
                 "resource-bound",
                 "serial-dataflow-bound",
+                "telemetry",
             ):
                 violations = check_invariants(candidate, machine, config)
             else:
                 violations = run_oracle(
-                    candidate, config, machines, DEFAULT_EDGES
+                    candidate, config, machines, DEFAULT_EDGES,
+                    check_telemetry=check_telemetry,
                 ).violations
         except Exception:
             # A candidate that crashes a model is a different bug; keep
@@ -182,7 +195,10 @@ def run_verification(
         seed = options.first_seed + index
         config = options.configs[index % len(options.configs)]
         trace = fuzz_trace(seed, options.fuzz)
-        violation, checks = _first_violation(trace, config, options.machines)
+        violation, checks = _first_violation(
+            trace, config, options.machines,
+            check_telemetry=options.check_telemetry,
+        )
         report.seeds_run += 1
         report.checks_run += checks
         if violation is None:
@@ -200,7 +216,8 @@ def run_verification(
         repro = trace
         if options.shrink:
             predicate = _still_fails_same_way(
-                signature, config, options.machines
+                signature, config, options.machines,
+                check_telemetry=options.check_telemetry,
             )
             repro = shrink_trace(
                 trace, predicate, name=f"{trace.name}-shrunk"
@@ -221,7 +238,10 @@ def run_verification(
         # Re-derive the message on the shrunk trace when possible, so the
         # report points at the minimal witness.
         message = violation.message
-        small_violation, _ = _first_violation(repro, config, options.machines)
+        small_violation, _ = _first_violation(
+            repro, config, options.machines,
+            check_telemetry=options.check_telemetry,
+        )
         if small_violation is not None and (
             _failure_signature(small_violation) == signature
         ):
