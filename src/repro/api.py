@@ -77,6 +77,18 @@ from .trace import (
     trace_stats,
     write_trace,
 )
+from .trace.importer import TraceImportError, export_trace, import_trace
+from .trace.sources import (
+    ParsedTraceSpec,
+    SourceStats,
+    TraceSource,
+    UnknownTraceSourceError,
+    available_sources as _available_sources,
+    list_sources as _list_sources,
+    parse_trace_spec as _parse_trace_spec_string,
+    source_statistics,
+    trace_source,
+)
 
 Sizes = Optional[Mapping[int, int]]
 
@@ -85,34 +97,47 @@ __all__ = [
     "BenchReport",
     "MachineInfo",
     "ParsedSpec",
+    "ParsedTraceSpec",
     "ProgressCallback",
     "ProgressEvent",
     "RunManifest",
+    "SourceStats",
     "SweepRun",
     "TableRun",
+    "TraceImportError",
+    "TraceSource",
     "UnknownSpecError",
+    "UnknownTraceSourceError",
     "VerifyReport",
     "bench_options",
     "capture",
+    "capture_source",
     "compare_bench",
     "disassemble",
     "find_run",
     "kernel_stats",
     "limits",
+    "limits_source",
     "list_backends",
     "list_machines",
     "list_runs",
     "list_tables",
+    "list_trace_sources",
     "load_bench_report",
     "machine_info",
     "parse_spec",
+    "parse_trace_spec",
     "replay",
+    "resolve_trace",
     "run_bench",
     "run_sweep",
     "run_table",
     "section33",
     "simulate",
+    "simulate_source",
+    "source_stats",
     "stalls",
+    "trace_source_help",
     "verify_machines",
 ]
 
@@ -373,10 +398,107 @@ def replay(
     *,
     config: str = "M11BR5",
 ) -> SimulationResult:
-    """Time a previously captured trace on any machine."""
-    trace: Trace = read_trace(trace_path)
+    """Time a previously captured trace on any machine.
+
+    The archive goes through the strict importer, so a malformed file
+    fails with one ``path:line`` diagnostic
+    (:class:`TraceImportError`) instead of a parse backtrace.
+    """
+    trace: Trace = import_trace(trace_path)
     simulator = build_simulator(machine)
     return simulator.simulate(trace, config_by_name(config))
+
+
+# ----------------------------------------------------------------------
+# Trace sources (the unified registry)
+# ----------------------------------------------------------------------
+
+def parse_trace_spec(spec: str) -> ParsedTraceSpec:
+    """Validate and normalise a trace-source spec string.
+
+    The trace-side twin of :func:`parse_spec`: returns the
+    :class:`~repro.trace.sources.ParsedTraceSpec` the registry itself
+    uses, after checking the head is a registered source; unknown heads
+    raise :class:`UnknownTraceSourceError`.  (Parameter problems surface
+    when the trace is actually built -- building can be expensive, so
+    this check is head-only.)
+    """
+    from .trace.sources import _SOURCES
+
+    parsed = _parse_trace_spec_string(spec)
+    if parsed.head not in _SOURCES:
+        raise UnknownTraceSourceError(spec)
+    return parsed
+
+
+def resolve_trace(spec: str) -> Trace:
+    """Resolve a trace-source spec (``kernel:5``, ``branchy:n=256``,
+    ``file:trace.jsonl`` ...) to its :class:`~repro.trace.Trace`.
+
+    Every rejected spec raises :class:`UnknownTraceSourceError`;
+    malformed ``file:`` archives raise :class:`TraceImportError` with a
+    ``path:line`` diagnostic.
+    """
+    return trace_source(spec)
+
+
+def list_trace_sources() -> Tuple[TraceSource, ...]:
+    """Every registered trace source, sorted by name."""
+    return _list_sources()
+
+
+def trace_source_help() -> str:
+    """One-line grammar of accepted trace-source specification strings."""
+    return _available_sources()
+
+
+def source_stats(spec: str) -> SourceStats:
+    """Dependence-distance and FU-demand summary of one source's trace.
+
+    Computed from the compiled-trace IR (see
+    :func:`repro.trace.sources.source_statistics`).
+    """
+    return source_statistics(trace_source(spec))
+
+
+def simulate_source(
+    source: str,
+    machine: str = "cray",
+    *,
+    config: str = "M11BR5",
+) -> SimulationResult:
+    """Time any trace source on one machine organisation.
+
+    The source-spec generalisation of :func:`simulate`:
+    ``simulate_source("kernel:5", "ruu:2:50")`` is
+    ``simulate(5, "ruu:2:50")``, and the same call replays synthetic
+    families or external ``file:`` archives.
+    """
+    simulator = build_simulator(machine)
+    return simulator.simulate(trace_source(source), config_by_name(config))
+
+
+def limits_source(
+    source: str,
+    *,
+    config: str = "M11BR5",
+    serial: bool = False,
+) -> LoopLimits:
+    """Pseudo-dataflow / resource / actual limits for any trace source."""
+    return compute_limits(
+        trace_source(source), config_by_name(config), serial=serial
+    )
+
+
+def capture_source(source: str, out: str) -> int:
+    """Resolve any trace source and save it as a JSONL archive.
+
+    Returns the entry count; the written file round-trips byte-stably
+    through ``file:<out>`` / :func:`resolve_trace`.
+    """
+    trace = trace_source(source)
+    export_trace(trace, out)
+    return len(trace)
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +516,7 @@ def verify_machines(
     dump_dir: Optional[str] = None,
     first_seed: int = 0,
     check_telemetry: bool = False,
+    source: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> VerifyReport:
     """Fuzz-verify machine models against each other and the limits.
@@ -415,6 +538,10 @@ def verify_machines(
             variants); seeds rotate through them.
         trace_length: override the fuzzed trace length only.
         fuzz: full trace-shape control (overrides *trace_length*).
+        source: seeded trace-source spec to draw the campaign's traces
+            from instead of the default fuzzer (``"branchy"``,
+            ``"fuzz:pointer"``, ``"synthetic:deep"`` ...); the runner
+            appends ``:seed=<seed>`` per iteration.
         shrink: minimise failing traces before reporting.
         dump_dir: directory for reproducer dumps.
         first_seed: base seed, letting shards cover disjoint ranges.
@@ -437,6 +564,7 @@ def verify_machines(
         dump_dir=Path(dump_dir) if dump_dir is not None else None,
         first_seed=first_seed,
         check_telemetry=check_telemetry,
+        source=source,
     )
     return run_verification(options, log=log)
 
@@ -606,8 +734,10 @@ def run_sweep(
     Args:
         specs: registry spec strings; every spec is validated up front
             and an :class:`UnknownSpecError` names the first bad one.
-        traces: :class:`~repro.trace.Trace` objects, or Livermore kernel
-            numbers (ints) to build at their default sizes.
+        traces: :class:`~repro.trace.Trace` objects, trace-source spec
+            strings (``"branchy:n=256"``, ``"file:trace.jsonl"`` ...),
+            or Livermore kernel numbers (ints) to build at their
+            default sizes.
         config: machine-variant name (``M11BR5`` ...).
         backend: ``"auto"`` | ``"python"`` | ``"batch"``.
 
@@ -623,10 +753,14 @@ def run_sweep(
     fastpath.resolve_backend(backend)  # fail fast on unknown backends
     machine_config = config_by_name(config)
     simulators = [build_simulator(spec) for spec in spec_list]
-    resolved: List[Trace] = [
-        item if isinstance(item, Trace) else _kernel(item, None).trace()
-        for item in traces
-    ]
+    resolved: List[Trace] = []
+    for item in traces:
+        if isinstance(item, Trace):
+            resolved.append(item)
+        elif isinstance(item, str):
+            resolved.append(trace_source(item))
+        else:
+            resolved.append(_kernel(item, None).trace())
 
     stats_before = fastpath.stats()
     start = _time.perf_counter()

@@ -51,15 +51,29 @@ from .trace import format_stats
 
 
 def _add_kernel_arguments(
-    parser: argparse.ArgumentParser, *, required: bool = True
+    parser: argparse.ArgumentParser,
+    *,
+    required: bool = True,
+    source: bool = False,
 ) -> None:
     parser.add_argument(
         "--kernel",
         type=int,
-        required=required,
+        required=required and not source,
         choices=ALL_LOOPS,
         help="Livermore loop number",
     )
+    if source:
+        parser.add_argument(
+            "--source",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "trace-source spec instead of --kernel (kernel:5, "
+                "branchy:n=256, fuzz:seed=7, file:trace.jsonl ...; "
+                "see `repro sources`)"
+            ),
+        )
     parser.add_argument("--n", type=int, default=None, help="problem size")
     parser.add_argument(
         "--unroll", type=int, default=1, help="unroll factor (default 1)"
@@ -167,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LOOP",
         help="Livermore loop numbers (default: all)",
     )
+    sweep.add_argument(
+        "--sources",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "trace-source specs to sweep (combinable with --kernels; "
+            "see `repro sources`)"
+        ),
+    )
     sweep.add_argument("--config", default="M11BR5")
     sweep.add_argument(
         "--backend",
@@ -175,8 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast-path backend (auto = batch)",
     )
 
-    simulate = sub.add_parser("simulate", help="time one kernel on one machine")
-    _add_kernel_arguments(simulate)
+    simulate = sub.add_parser(
+        "simulate", help="time one kernel (or trace source) on one machine"
+    )
+    _add_kernel_arguments(simulate, source=True)
     simulate.add_argument(
         "--machine",
         default="cray",
@@ -184,17 +210,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--config", default="M11BR5")
 
+    sources = sub.add_parser(
+        "sources",
+        help="list trace sources, or describe one spec (--spec)",
+    )
+    sources.add_argument(
+        "--spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "resolve one trace-source spec and print its statistics "
+            "(length, mix, dependence distance, FU demand)"
+        ),
+    )
+
     disasm = sub.add_parser("disasm", help="print a kernel's assembly")
     _add_kernel_arguments(disasm)
 
     stats = sub.add_parser(
         "stats",
         help=(
-            "instruction-mix statistics (--kernel) or the run breakdown "
-            "of past observed runs (no --kernel)"
+            "instruction-mix statistics (--kernel/--source) or the run "
+            "breakdown of past observed runs (no --kernel)"
         ),
     )
-    _add_kernel_arguments(stats, required=False)
+    _add_kernel_arguments(stats, required=False, source=True)
     stats.add_argument(
         "--machine",
         default=None,
@@ -247,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     limits = sub.add_parser("limits", help="dataflow/resource/serial limits")
-    _add_kernel_arguments(limits)
+    _add_kernel_arguments(limits, source=True)
     limits.add_argument("--config", default="M11BR5")
 
     stalls = sub.add_parser("stalls", help="stall attribution")
@@ -255,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     stalls.add_argument("--config", default="M11BR5")
 
     capture = sub.add_parser("capture", help="save a verified trace (JSONL)")
-    _add_kernel_arguments(capture)
+    _add_kernel_arguments(capture, source=True)
     capture.add_argument("--out", required=True, help="output path")
 
     replay = sub.add_parser("replay", help="time a saved trace")
@@ -320,6 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also check every fast-path machine's aggregate telemetry "
             "record against the event-derived reduction"
+        ),
+    )
+    verify.add_argument(
+        "--source",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "seeded trace-source family to draw campaign traces from "
+            "(branchy, fuzz:pointer, synthetic:deep ...; default: the "
+            "legacy fuzzer knobs)"
         ),
     )
     verify.add_argument(
@@ -570,13 +620,47 @@ def run_machine_info(spec: str) -> int:
     return 0
 
 
+def run_sources(spec: Optional[str]) -> int:
+    """The ``sources`` subcommand: the trace-source catalog or one spec."""
+    if spec is None:
+        print("trace sources (head[:token]... grammar; see docs/traces.md):")
+        for source in api.list_trace_sources():
+            seeded = "  [seeded family]" if source.seeded else ""
+            print(f"  {source.name:<10} {source.description}{seeded}")
+            for template in source.templates:
+                print(f"             {template}")
+        return 0
+    stats = api.source_stats(spec)  # bad specs -> exit 2 via main()
+    print(f"source {spec}")
+    print(f"  trace:                {stats.name}")
+    print(f"  instructions:         {stats.length}")
+    print(f"  branch fraction:      {stats.branch_fraction:.1%}")
+    print(f"  memory fraction:      {stats.memory_fraction:.1%}")
+    if stats.vector_fraction:
+        print(f"  vector fraction:      {stats.vector_fraction:.1%}")
+    print(
+        "  dependence distance:  "
+        f"{stats.mean_dependence_distance:.2f} mean "
+        f"({stats.dependent_fraction:.0%} of instructions dependent)"
+    )
+    print("  functional-unit demand:")
+    for unit, share in sorted(
+        stats.fu_demand.items(), key=lambda item: -item[1]
+    ):
+        print(f"    {unit:<26} {share:.1%}")
+    return 0
+
+
 def run_sweep_cmd(args) -> int:
     """The ``sweep`` subcommand: batched multi-machine replay."""
     for spec in args.machines:
         api.parse_spec(spec)  # raises UnknownSpecError -> exit 2
-    kernels = args.kernels if args.kernels else list(ALL_LOOPS)
+    traces: List = list(args.kernels or [])
+    traces += list(args.sources or [])
+    if not traces:
+        traces = list(ALL_LOOPS)
     run = api.run_sweep(
-        args.machines, kernels, config=args.config, backend=args.backend
+        args.machines, traces, config=args.config, backend=args.backend
     )
     print(run.render())
     fastpath = run.manifest.get("fastpath", {})
@@ -688,6 +772,7 @@ def run_verify(args) -> int:
             dump_dir=args.dump_dir,
             first_seed=args.first_seed,
             check_telemetry=args.telemetry,
+            source=args.source,
             log=log,
         )
     except ValueError as exc:
@@ -798,7 +883,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except api.UnknownSpecError as exc:
+    except (
+        api.UnknownSpecError,
+        api.UnknownTraceSourceError,
+        api.TraceImportError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
@@ -848,7 +937,18 @@ def _dispatch(args) -> int:
         print(api.disassemble(args.kernel, **_kernel_kwargs(args)))
         return 0
 
+    if args.command == "sources":
+        return run_sources(args.spec)
+
     if args.command == "simulate":
+        picked = _picked_trace(args)
+        if picked is None:
+            return 2
+        if args.source is not None:
+            print(api.simulate_source(
+                args.source, args.machine, config=args.config
+            ))
+            return 0
         kwargs = _kernel_kwargs(args)
         print(api.simulate(args.kernel, args.machine, config=args.config, **kwargs))
         return 0
@@ -856,6 +956,12 @@ def _dispatch(args) -> int:
     if args.command == "stats":
         if args.machine is not None:
             return run_machine_info(args.machine)
+        if args.source is not None:
+            if args.kernel is not None:
+                print("error: give --kernel or --source, not both",
+                      file=sys.stderr)
+                return 2
+            return run_sources(args.source)
         if args.kernel is None:
             return run_stats(args.run, args.limit, args.format)
         kwargs = _kernel_kwargs(args)
@@ -864,13 +970,22 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "limits":
-        kwargs = _kernel_kwargs(args)
-        kwargs.pop("vector")
-        kwargs.pop("explicit_addressing")
-        pure = api.limits(args.kernel, config=args.config, **kwargs)
-        serial = api.limits(
-            args.kernel, config=args.config, serial=True, **kwargs
-        )
+        picked = _picked_trace(args)
+        if picked is None:
+            return 2
+        if args.source is not None:
+            pure = api.limits_source(args.source, config=args.config)
+            serial = api.limits_source(
+                args.source, config=args.config, serial=True
+            )
+        else:
+            kwargs = _kernel_kwargs(args)
+            kwargs.pop("vector")
+            kwargs.pop("explicit_addressing")
+            pure = api.limits(args.kernel, config=args.config, **kwargs)
+            serial = api.limits(
+                args.kernel, config=args.config, serial=True, **kwargs
+            )
         print(f"{pure.trace_name} on {pure.config.name}:")
         print(f"  pseudo-dataflow limit  {pure.pseudo_dataflow_rate:.3f}")
         print(f"  resource limit         {pure.resource_rate:.3f} "
@@ -887,13 +1002,31 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "capture":
-        kwargs = _kernel_kwargs(args)
-        kwargs.pop("explicit_addressing")
-        count = api.capture(args.kernel, args.out, **kwargs)
+        picked = _picked_trace(args)
+        if picked is None:
+            return 2
+        if args.source is not None:
+            count = api.capture_source(args.source, args.out)
+        else:
+            kwargs = _kernel_kwargs(args)
+            kwargs.pop("explicit_addressing")
+            count = api.capture(args.kernel, args.out, **kwargs)
         print(f"wrote {count} entries to {args.out}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _picked_trace(args) -> Optional[str]:
+    """Enforce exactly one of --kernel / --source; None means exit 2."""
+    if args.kernel is not None and args.source is not None:
+        print("error: give --kernel or --source, not both", file=sys.stderr)
+        return None
+    if args.kernel is None and args.source is None:
+        print("error: one of --kernel or --source is required",
+              file=sys.stderr)
+        return None
+    return "source" if args.source is not None else "kernel"
 
 
 if __name__ == "__main__":  # pragma: no cover

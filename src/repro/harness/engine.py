@@ -37,7 +37,6 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core import config_by_name, fastpath
 from ..core.registry import build_simulator
-from ..kernels import build_kernel
 from ..limits import compute_limits
 from ..obs import (
     TELEMETRY_PREFIX,
@@ -49,6 +48,7 @@ from ..obs import (
     write_manifest,
 )
 from ..trace import DiskCache, Trace, default_cache_dir
+from ..trace.sources import trace_source
 from .aggregate import harmonic_mean
 from .plans import Cell, ExperimentPlan
 from .progress import ProgressCallback, ProgressEvent
@@ -200,9 +200,10 @@ def _resolve_trace(
         if trace is not None:
             _TRACE_MEMO[memo_key] = trace
             return trace, "disk"
-    # build_kernel(...).trace() verifies against the NumPy reference and
-    # memoises in the process-wide trace cache as well.
-    trace = build_kernel(loop, n).trace()
+    # The registry resolves kernel:<loop>:n=<n> to build_kernel(...)
+    # .trace(), which verifies against the NumPy reference and memoises
+    # in the process-wide trace cache as well.
+    trace = trace_source(f"kernel:{loop}:n={n}")
     _TRACE_MEMO[memo_key] = trace
     if cache is not None:
         cache.store_trace(trace_key(loop, n), trace)

@@ -208,6 +208,60 @@ class _Fuzzer:
         )
 
 
+#: Named fuzz-spec presets ("families"): corners of the knob space the
+#: default mix never reaches, exposed as ``fuzz:<family>`` specs by the
+#: trace-source registry (:mod:`repro.trace.sources`) and swept by the
+#: nightly branchy verification campaign.  Statistics envelopes for the
+#: family traces live in ``repro.trace.sources.FAMILY_ENVELOPES``.
+FUZZ_FAMILIES: "dict[str, FuzzSpec]" = {
+    "default": FuzzSpec(),
+    # Control-dominated: every third-or-so instruction is a branch, and
+    # integer (address-pipe) compute feeds the A0 tests.
+    "branchy": FuzzSpec(
+        length=96,
+        dependency_density=0.60,
+        memory_fraction=0.12,
+        branch_fraction=0.30,
+        float_fraction=0.25,
+        taken_fraction=0.55,
+    ),
+    # Memory-dominated with tight address recurrences: loads whose base
+    # registers were just written, the fuzzer's closest shape to a chase.
+    "pointer": FuzzSpec(
+        length=96,
+        dependency_density=0.85,
+        memory_fraction=0.45,
+        branch_fraction=0.04,
+        float_fraction=0.20,
+    ),
+    # Wide independent dataflow: almost no reuse of recent results, so
+    # issue width (not dependences) is the binding constraint.
+    "parallel": FuzzSpec(
+        length=96,
+        dependency_density=0.15,
+        memory_fraction=0.15,
+        branch_fraction=0.04,
+        float_fraction=0.60,
+    ),
+}
+
+
+def fuzz_family(name: str, seed: int = 0) -> Trace:
+    """Generate the *name* family's trace for *seed*.
+
+    Raises:
+        ValueError: for an unknown family name.
+    """
+    try:
+        spec = FUZZ_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz family {name!r}; "
+            f"available: {', '.join(sorted(FUZZ_FAMILIES))}"
+        ) from None
+    return fuzz_trace(seed, spec)
+
+
 def fuzz_trace(seed: int, spec: Optional[FuzzSpec] = None) -> Trace:
     """Generate one deterministic synthetic trace for *seed* under *spec*."""
     spec = spec or FuzzSpec()

@@ -294,6 +294,11 @@ def check_invariants(
             expected = issued + config.branch_latency
         else:
             expected = issued + instr.latency(latencies)
+            if instr.is_vector:
+                # A vector operation streams its elements through the
+                # unit: the full result exists only at
+                # issue + latency + vl (see scoreboard.py).
+                expected += entry.vector_length or 0
         if profile.blocking:
             if completed != expected:
                 report(
@@ -323,7 +328,19 @@ def check_invariants(
                     producer = last_writer.get(src)
                     if producer is None:
                         continue
-                    ready = complete_cycle.get(producer)
+                    producer_instr = trace.entries[producer].instruction
+                    if producer_instr.is_vector:
+                        # Chained vector producers forward their first
+                        # element at issue + latency; a consumer may
+                        # legally start there, before the full-vector
+                        # COMPLETE, so only that chain point is a floor.
+                        producer_issue = issue_cycle.get(producer)
+                        ready = None if producer_issue is None else (
+                            producer_issue
+                            + producer_instr.latency(latencies)
+                        )
+                    else:
+                        ready = complete_cycle.get(producer)
                     if ready is not None and issued < ready:
                         report(
                             "operands-complete-at-issue",

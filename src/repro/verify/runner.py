@@ -44,6 +44,14 @@ class VerifyOptions:
         check_telemetry: additionally compare each fast-path machine's
             aggregate telemetry record against the event-derived
             reduction (the nightly telemetry-equality oracle).
+        source: optional trace-source spec (:mod:`repro.trace.sources`)
+            the campaign draws its traces from instead of the default
+            fuzzer -- e.g. ``"branchy"`` or ``"fuzz:pointer:len=96"``.
+            For a seeded family the runner appends ``:seed=<seed>``
+            per iteration; a fixed source (``kernel:5``,
+            ``file:t.jsonl``) replays the same trace every iteration
+            while the configs rotate, so ``--seeds 4`` covers all four
+            variants.  ``None`` keeps the legacy ``fuzz`` knobs.
     """
 
     seeds: int = 50
@@ -54,6 +62,7 @@ class VerifyOptions:
     dump_dir: Optional[Path] = None
     first_seed: int = 0
     check_telemetry: bool = False
+    source: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -64,6 +73,25 @@ class VerifyOptions:
             raise ValueError("need at least one machine configuration")
         for spec in self.machines:
             profile_for_spec(spec)  # fail fast on unknown specs
+        if self.source is not None:
+            from ..trace.sources import (
+                MIXED_MACHINES,
+                UnknownTraceSourceError,
+                parse_trace_spec,
+                _SOURCES,
+            )
+
+            parsed = parse_trace_spec(self.source)
+            registered = _SOURCES.get(parsed.head)
+            if registered is None:
+                raise UnknownTraceSourceError(self.source)
+            if parsed.head == "mixed" and any(
+                spec not in MIXED_MACHINES for spec in self.machines
+            ):
+                raise ValueError(
+                    "mixed (vector) traces replay only on vector-capable "
+                    f"machines; restrict --machines to {MIXED_MACHINES}"
+                )
 
 
 @dataclass(frozen=True)
@@ -173,6 +201,40 @@ def _still_fails_same_way(
     return predicate
 
 
+def _seed_trace(options: VerifyOptions, seed: int) -> Trace:
+    """The trace for one campaign seed: registry family or legacy fuzz.
+
+    Seeded families get ``:seed=<seed>`` appended; fixed sources
+    (``kernel:...``, ``file:...``) resolve to the same trace each
+    iteration -- only the config rotation varies.
+    """
+    if options.source is None:
+        return fuzz_trace(seed, options.fuzz)
+    from ..trace.sources import (
+        MIXED_MACHINES,
+        _SOURCES,
+        parse_trace_spec,
+        trace_source,
+    )
+
+    if _SOURCES[parse_trace_spec(options.source).head].seeded:
+        trace = trace_source(f"{options.source}:seed={seed}")
+    else:
+        trace = trace_source(options.source)
+    # A file: archive can carry vector operations the head-level guard
+    # in VerifyOptions cannot see; apply the same machine restriction
+    # here, on the resolved trace.
+    if any(entry.instruction.is_vector for entry in trace.entries) and any(
+        spec not in MIXED_MACHINES for spec in options.machines
+    ):
+        raise ValueError(
+            f"trace {trace.name!r} contains vector operations, which "
+            "replay only on vector-capable machines; restrict "
+            f"--machines to {MIXED_MACHINES}"
+        )
+    return trace
+
+
 def run_verification(
     options: Optional[VerifyOptions] = None,
     *,
@@ -194,7 +256,7 @@ def run_verification(
     for index in range(options.seeds):
         seed = options.first_seed + index
         config = options.configs[index % len(options.configs)]
-        trace = fuzz_trace(seed, options.fuzz)
+        trace = _seed_trace(options, seed)
         violation, checks = _first_violation(
             trace, config, options.machines,
             check_telemetry=options.check_telemetry,

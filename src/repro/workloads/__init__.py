@@ -1,10 +1,24 @@
 """Workload generators beyond the Livermore loops."""
 
+from .families import (
+    BranchySpec,
+    MixedSpec,
+    PointerSpec,
+    branchy_trace,
+    mixed_trace,
+    pointer_trace,
+)
 from .synthetic import SyntheticSpec, build_synthetic, synthetic_memory, synthetic_trace
 
 __all__ = [
+    "BranchySpec",
+    "MixedSpec",
+    "PointerSpec",
     "SyntheticSpec",
+    "branchy_trace",
     "build_synthetic",
+    "mixed_trace",
+    "pointer_trace",
     "synthetic_memory",
     "synthetic_trace",
 ]

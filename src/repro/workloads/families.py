@@ -1,0 +1,393 @@
+"""Parameterized workload families beyond the Livermore loops.
+
+The paper's limit study draws every conclusion from 14 floating-point
+Livermore kernels; the ILP literature shows those conclusions shift
+sharply on branchy integer and pointer-chasing code.  This module grows
+the workload catalog with three deterministic, seeded trace families:
+
+* :func:`branchy_trace` -- control-dominated integer code: short
+  integer dependence chains feeding ``A0``, a conditional branch every
+  few instructions, data-dependent outcomes, mixed forward/backward
+  targets.  Roughly a quarter of the dynamic stream is branches --
+  the shape the Livermore loops (one backward branch per ~10-60
+  instructions) never produce.
+* :func:`pointer_trace` -- pointer-chasing with gathers: serial
+  ``LOADA`` chains where each load's *address register is the previous
+  load's result* (the linked-list walk that defeats wide issue), with
+  gather ``LOADS`` hanging off the chased pointer and a little address
+  arithmetic between hops.
+* :func:`mixed_trace` -- mixed scalar-vector strips: CRAY-style
+  strip-mined vector blocks (``VSETL``/``VLOAD``/``VSMUL``/``VVADD``/
+  ``VSTORE``) interleaved with a scalar floating-point reduction and
+  the strip-control address arithmetic.  Vector traces replay on the
+  machines that model element streaming (Simple and the scoreboard
+  family); the scalar machines reject them by design.
+
+Every emitted trace is ISA-valid by construction -- each
+:class:`~repro.isa.Instruction` and :class:`~repro.trace.TraceEntry`
+validates itself on construction, exactly like the fuzzer's output --
+and generation is deterministic per spec (stdlib :class:`random.Random`
+only).  The trace-source registry (:mod:`repro.trace.sources`) exposes
+the families as ``branchy:...``, ``pointer:...`` and ``mixed:...``
+specs and publishes their per-family statistics envelopes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..isa import Instruction, Opcode, VECTOR_LENGTH_MAX
+from ..isa.registers import A0, A, S, V, VL
+from ..trace import Trace
+from ..trace.generator import TraceItem, assemble_trace
+from ..trace.record import TraceEntry
+
+__all__ = [
+    "BranchySpec",
+    "MixedSpec",
+    "PointerSpec",
+    "branchy_trace",
+    "mixed_trace",
+    "pointer_trace",
+]
+
+_INT_OPS = (Opcode.AADD, Opcode.ASUB, Opcode.AMUL)
+_COND_BRANCHES = (Opcode.JAZ, Opcode.JAN, Opcode.JAP, Opcode.JAM)
+
+
+# ----------------------------------------------------------------------
+# Branchy integer code
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BranchySpec:
+    """Parameters of one branchy integer trace.
+
+    Attributes:
+        length: dynamic instruction count.
+        seed: RNG seed (generation is deterministic per spec).
+        taken_fraction: probability a conditional branch is taken.
+        block: average non-branch instructions between branches.
+    """
+
+    length: int = 256
+    seed: int = 0
+    taken_fraction: float = 0.55
+    block: int = 3
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if not 0.0 <= self.taken_fraction <= 1.0:
+            raise ValueError("taken_fraction must be in [0, 1]")
+        if self.block < 1:
+            raise ValueError("block must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"branchy-n{self.length}-t{int(self.taken_fraction * 100)}"
+            f"-b{self.block}-s{self.seed}"
+        )
+
+
+def branchy_trace(spec: BranchySpec = BranchySpec()) -> Trace:
+    """Generate one deterministic branchy integer trace for *spec*.
+
+    The stream alternates short integer compute blocks with conditional
+    branches: each block ends by funnelling a fresh value into ``A0``
+    (the only register conditional branches test), so every branch has a
+    live data-dependent producer immediately upstream -- the pattern
+    that stresses branch-latency modelling hardest.
+    """
+    rng = random.Random(spec.seed * 40_093 + 11)
+    items: List[TraceItem] = []
+    live = [A(i) for i in range(1, 6)]
+
+    while len(items) < spec.length:
+        budget = spec.length - len(items)
+        block = min(budget, 1 + rng.randrange(spec.block * 2 - 1))
+        for _ in range(block):
+            roll = rng.random()
+            if roll < 0.18:
+                items.append(
+                    Instruction(
+                        Opcode.AI,
+                        dest=rng.choice(live),
+                        srcs=(rng.randrange(128),),
+                    )
+                )
+            elif roll < 0.34:
+                base = rng.choice(live)
+                items.append(
+                    TraceEntry(
+                        seq=0,
+                        static_index=len(items),
+                        instruction=Instruction(
+                            Opcode.LOADA,
+                            dest=rng.choice(live),
+                            srcs=(base, rng.randrange(64)),
+                        ),
+                        address=rng.randrange(2048),
+                    )
+                )
+            else:
+                opcode = _INT_OPS[rng.randrange(3)]
+                second: object = (
+                    rng.randrange(32)
+                    if rng.random() < 0.3
+                    else rng.choice(live)
+                )
+                items.append(
+                    Instruction(
+                        opcode,
+                        dest=rng.choice(live),
+                        srcs=(rng.choice(live), second),
+                    )
+                )
+        if len(items) >= spec.length:
+            break
+        # The branch's test value: A0 <- f(live), then the branch itself.
+        items.append(
+            Instruction(
+                Opcode.ASUB,
+                dest=A0,
+                srcs=(rng.choice(live), rng.choice(live)),
+            )
+        )
+        if len(items) >= spec.length:
+            break
+        items.append(
+            TraceEntry(
+                seq=0,
+                static_index=len(items),
+                instruction=Instruction(
+                    _COND_BRANCHES[rng.randrange(4)],
+                    srcs=(A0,),
+                    target=f"B{len(items)}",
+                ),
+                taken=rng.random() < spec.taken_fraction,
+                backward=rng.random() < 0.5,
+            )
+        )
+    return _renumber(items, spec.name)
+
+
+# ----------------------------------------------------------------------
+# Pointer chasing with gathers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointerSpec:
+    """Parameters of one pointer-chasing trace.
+
+    Attributes:
+        length: dynamic instruction count.
+        seed: RNG seed.
+        chains: independent chase chains interleaved round-robin
+            (1 = a single serial linked-list walk; more chains expose
+            memory-level parallelism).  Must be 1..4 (chains live in
+            A1..A4).
+        gather_fraction: probability each hop is followed by a gather
+            ``LOADS`` off the freshly chased pointer.
+    """
+
+    length: int = 256
+    seed: int = 0
+    chains: int = 1
+    gather_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if not 1 <= self.chains <= 4:
+            raise ValueError("chains must be 1..4 (A1..A4)")
+        if not 0.0 <= self.gather_fraction <= 1.0:
+            raise ValueError("gather_fraction must be in [0, 1]")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"pointer-n{self.length}-c{self.chains}"
+            f"-g{int(self.gather_fraction * 100)}-s{self.seed}"
+        )
+
+
+def pointer_trace(spec: PointerSpec = PointerSpec()) -> Trace:
+    """Generate one deterministic pointer-chasing trace for *spec*.
+
+    Each chain hop is ``LOADA Ac <- mem[Ac + disp]`` -- the next hop's
+    address *is* this hop's loaded value, a true serial dependence no
+    issue mechanism can break.  Gathers (``LOADS`` into S registers off
+    the chased pointer) and occasional next-field offset arithmetic
+    hang off the chain without lengthening it.
+    """
+    rng = random.Random(spec.seed * 48_271 + 7)
+    items: List[TraceItem] = []
+    chain_regs = [A(i + 1) for i in range(spec.chains)]
+    gather_regs = [S(i) for i in range(6)]
+    addresses = [64 + 8 * i for i in range(spec.chains)]
+
+    hop = 0
+    while len(items) < spec.length:
+        reg = chain_regs[hop % spec.chains]
+        index = hop % spec.chains
+        # The chase itself: the address register feeds its own reload.
+        addresses[index] = (addresses[index] * 1_103_515_245 + 12_345) % 4096
+        items.append(
+            TraceEntry(
+                seq=0,
+                static_index=len(items),
+                instruction=Instruction(
+                    Opcode.LOADA, dest=reg, srcs=(reg, rng.randrange(16))
+                ),
+                address=addresses[index],
+            )
+        )
+        hop += 1
+        if len(items) >= spec.length:
+            break
+        if rng.random() < spec.gather_fraction:
+            items.append(
+                TraceEntry(
+                    seq=0,
+                    static_index=len(items),
+                    instruction=Instruction(
+                        Opcode.LOADS,
+                        dest=rng.choice(gather_regs),
+                        srcs=(reg, rng.randrange(64)),
+                    ),
+                    address=(addresses[index] + rng.randrange(64)) % 4096,
+                )
+            )
+        elif rng.random() < 0.5:
+            # Next-field offset arithmetic on the freshly loaded pointer.
+            items.append(
+                Instruction(
+                    Opcode.AADD, dest=reg, srcs=(reg, rng.randrange(1, 16))
+                )
+            )
+    return _renumber(items, spec.name)
+
+
+# ----------------------------------------------------------------------
+# Mixed scalar-vector strips
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MixedSpec:
+    """Parameters of one mixed scalar-vector trace.
+
+    Attributes:
+        elements: total elements processed (strip-mined into
+            <=``strip``-element vector blocks, remainder strip first).
+        seed: RNG seed for the scalar interludes.
+        strip: maximum elements per strip (<= 64, the register length).
+    """
+
+    elements: int = 256
+    seed: int = 0
+    strip: int = VECTOR_LENGTH_MAX
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise ValueError("elements must be >= 1")
+        if not 1 <= self.strip <= VECTOR_LENGTH_MAX:
+            raise ValueError(
+                f"strip must be 1..{VECTOR_LENGTH_MAX} (the register length)"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"mixed-e{self.elements}-v{self.strip}-s{self.seed}"
+
+
+def mixed_trace(spec: MixedSpec = MixedSpec()) -> Trace:
+    """Generate one deterministic mixed scalar-vector trace for *spec*.
+
+    Each strip is the CFT strip-mine shape: set the vector length, load
+    two vectors, combine them (one vector-vector and one scalar-vector
+    operation), store the result -- then a scalar interlude updates the
+    running FP reduction and bumps the strip offset.  Only machines
+    modelling the vector unit (Simple, the scoreboard family) accept
+    the result; see :data:`repro.trace.sources.MIXED_MACHINES`.
+    """
+    rng = random.Random(spec.seed * 69_621 + 3)
+    items: List[TraceItem] = []
+
+    remainder = spec.elements % spec.strip
+    strips: List[int] = []
+    if remainder:
+        strips.append(remainder)
+    strips.extend([spec.strip] * ((spec.elements - remainder) // spec.strip))
+
+    items.append(Instruction(Opcode.AI, dest=A(1), srcs=(0,)))
+    items.append(Instruction(Opcode.SI, dest=S(1), srcs=(0.0,)))
+    items.append(
+        Instruction(Opcode.SI, dest=S(2), srcs=(round(rng.uniform(0.5, 2.0), 3),))
+    )
+    for vl in strips:
+        items.append(Instruction(Opcode.VSETL, dest=VL, srcs=(vl,)))
+
+        def vec(instr: Instruction) -> TraceEntry:
+            return TraceEntry(
+                seq=0,
+                static_index=0,
+                instruction=instr,
+                vector_length=vl,
+            )
+
+        items.append(
+            vec(Instruction(Opcode.VLOAD, dest=V(1), srcs=(A(1), 1)))
+        )
+        items.append(
+            vec(Instruction(Opcode.VLOAD, dest=V(2), srcs=(A(1), 1)))
+        )
+        items.append(
+            vec(Instruction(Opcode.VSMUL, dest=V(3), srcs=(S(2), V(2))))
+        )
+        items.append(
+            vec(Instruction(Opcode.VVADD, dest=V(4), srcs=(V(1), V(3))))
+        )
+        items.append(
+            vec(Instruction(Opcode.VSTORE, srcs=(V(4), A(1), 1)))
+        )
+        # Scalar interlude: FP reduction step plus strip control.
+        items.append(
+            Instruction(
+                Opcode.SI,
+                dest=S(3),
+                srcs=(round(rng.uniform(-1.0, 1.0), 3),),
+            )
+        )
+        items.append(Instruction(Opcode.FMUL, dest=S(4), srcs=(S(3), S(2))))
+        items.append(Instruction(Opcode.FADD, dest=S(1), srcs=(S(1), S(4))))
+        items.append(Instruction(Opcode.AADD, dest=A(1), srcs=(A(1), vl)))
+    return _renumber(items, spec.name)
+
+
+# ----------------------------------------------------------------------
+# Shared
+# ----------------------------------------------------------------------
+
+def _renumber(items: List[TraceItem], name: str) -> Trace:
+    """Renumber *items* into a fresh trace, fixing static indices."""
+    fixed: List[TraceItem] = []
+    for index, item in enumerate(items):
+        if isinstance(item, TraceEntry):
+            fixed.append(
+                TraceEntry(
+                    seq=index,
+                    static_index=index,
+                    instruction=item.instruction,
+                    taken=item.taken,
+                    address=item.address,
+                    backward=item.backward,
+                    vector_length=item.vector_length,
+                )
+            )
+        else:
+            fixed.append(item)
+    return assemble_trace(fixed, name=name)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/golden_sources.json``.
+
+Pins, per trace-source family and oracle machine spec, the harmonic
+mean of the issue rates over a fixed seed set on one configuration.
+Like ``golden_tables.json`` these pin the *reproduction's* behaviour:
+the engine is deterministic, so the values are compared bit-exactly and
+a one-ULP drift is a real behaviour change.
+
+Run from the repository root after an *intentional* behaviour change:
+
+    PYTHONPATH=src python tests/data/regen_golden_sources.py
+
+and commit the regenerated JSON together with the change that moved it.
+The test module (``tests/test_golden_sources.py``) imports the
+constants below, so the pinned matrix and the checked matrix can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Seeds folded into each harmonic mean.
+SEEDS = tuple(range(5))
+
+#: Configuration every golden replay uses.
+CONFIG = "M11BR5"
+
+#: Family spec templates; ``:seed=<s>`` is appended per replay.  The
+#: ``mixed`` family carries vector ops, so it replays only on the
+#: vector-capable subset of the oracle machines.
+FAMILIES = (
+    "branchy",
+    "branchy:taken=0.85:block=5",
+    "pointer",
+    "pointer:chains=4:gather=0.6",
+    "mixed",
+    "fuzz",
+    "fuzz:branchy",
+    "fuzz:pointer",
+    "fuzz:parallel",
+    "synthetic:stride",
+    "synthetic:deep",
+    "synthetic:wide",
+)
+
+OUT = Path(__file__).parent / "golden_sources.json"
+
+
+def machines_for(family: str):
+    from repro.trace.sources import MIXED_MACHINES, parse_trace_spec
+    from repro.verify.oracle import DEFAULT_ORACLE_MACHINES
+
+    if parse_trace_spec(family).head == "mixed":
+        return tuple(
+            spec for spec in DEFAULT_ORACLE_MACHINES
+            if spec in MIXED_MACHINES
+        )
+    return DEFAULT_ORACLE_MACHINES
+
+
+def harmonic_mean(rates):
+    return len(rates) / sum(1.0 / rate for rate in rates)
+
+
+def compute():
+    from repro.core import build_simulator, config_by_name
+    from repro.trace.sources import trace_source
+
+    config = config_by_name(CONFIG)
+    table = {}
+    for family in FAMILIES:
+        traces = [
+            trace_source(f"{family}:seed={seed}") for seed in SEEDS
+        ]
+        row = {}
+        for spec in machines_for(family):
+            simulator = build_simulator(spec)
+            row[spec] = harmonic_mean(
+                [simulator.simulate(trace, config).issue_rate
+                 for trace in traces]
+            )
+        table[family] = row
+    return {"config": CONFIG, "seeds": list(SEEDS), "families": table}
+
+
+def main():
+    OUT.write_text(json.dumps(compute(), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(FAMILIES)} families to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -156,6 +156,91 @@ def test_table5_style_sweep_is_bit_identical_across_configs():
 
 
 # ----------------------------------------------------------------------
+# Registry-sourced workload families through the batch backend
+# ----------------------------------------------------------------------
+
+from repro.trace.sources import trace_source
+
+#: Scalar registry families (mixed is vector-only: no batch machines).
+FAMILY_SPECS = (
+    "branchy:n=96",
+    "pointer:n=96:chains=2",
+    "fuzz:branchy",
+    "fuzz:pointer",
+    "fuzz:parallel",
+    "synthetic:stride:n=12",
+    "synthetic:deep:n=10",
+    "synthetic:wide:n=10",
+)
+
+
+def _family_traces(seeds):
+    return [
+        trace_source(f"{template}:seed={seed}")
+        for template in FAMILY_SPECS
+        for seed in seeds
+    ]
+
+
+def _batch_agrees_on(trace, config):
+    machines = _oracle_simulators()
+    bound = [(sim, config) for _, sim in machines]
+    batch = fastpath.simulate_sweep(trace, bound, backend="batch")
+    perspec = fastpath.simulate_sweep(trace, bound, backend="python")
+    for (spec, sim), b, p in zip(machines, batch, perspec):
+        reference = getattr(sim, "reference_simulate", sim.simulate)
+        ref = reference(trace, config)
+        context = (spec, trace.name, config.name)
+        assert b.cycles == p.cycles == ref.cycles, context
+        assert b.issue_rate == p.issue_rate == ref.issue_rate, context
+        assert b.instructions == p.instructions == ref.instructions, context
+
+
+@pytest.mark.sources
+def test_batch_matches_reference_on_registry_families():
+    """Fast subset: each family through the full oracle set as a batch."""
+    for index, trace in enumerate(_family_traces(range(2))):
+        _batch_agrees_on(trace, CONFIGS[index % len(CONFIGS)])
+
+
+@pytest.mark.sources
+@pytest.mark.slow
+def test_batch_matches_reference_on_registry_families_full_matrix():
+    """Nightly: the full family x seed x config batch matrix."""
+    for trace in _family_traces(range(20)):
+        for config in CONFIGS:
+            _batch_agrees_on(trace, config)
+
+
+@pytest.mark.sources
+def test_batch_schedules_match_perspec_on_registry_families():
+    """Per-instruction schedules from the batch kernels equal the
+    per-spec fast loops' on every family, not just the default fuzz."""
+    machines = [
+        (spec, sim)
+        for spec, sim in _oracle_simulators()
+        if fastpath.fast_eligible(sim)
+    ]
+    for trace in _family_traces(range(2)):
+        batch_records = [[] for _ in machines]
+        perspec_records = [[] for _ in machines]
+        for backend, records in (
+            ("batch", batch_records), ("python", perspec_records)
+        ):
+            fastpath.simulate_sweep(
+                trace,
+                [
+                    fastpath.SweepItem(sim, M11BR5, record)
+                    for (_, sim), record in zip(machines, records)
+                ],
+                backend=backend,
+            )
+        for (spec, _), b, p in zip(machines, batch_records, perspec_records):
+            assert len(b) == len(trace)
+            assert b == p, (spec, trace.name)
+
+
+# ----------------------------------------------------------------------
 # A broken batch backend is caught
 # ----------------------------------------------------------------------
 

@@ -218,6 +218,128 @@ def test_vector_trace_rejected_with_reference_message():
 
 
 # ----------------------------------------------------------------------
+# Registry-sourced workload families
+# ----------------------------------------------------------------------
+#
+# The same three-way agreement (fast == reference on cycles, rates,
+# telemetry and schedules) over every workload family the trace-source
+# registry can mint, not just the default fuzzer shape.  Tier-1 runs a
+# few seeds per family; nightly (-m "sources and slow") replays the full
+# seed matrix.
+
+from repro.trace.sources import MIXED_MACHINES, trace_source
+
+#: Scalar family spec templates: replayable on every fast-path machine.
+FAMILY_SPECS = (
+    "branchy:n=96",
+    "branchy:n=80:taken=0.85:block=5",
+    "pointer:n=96",
+    "pointer:n=96:chains=4:gather=0.6",
+    "fuzz:branchy",
+    "fuzz:pointer",
+    "fuzz:parallel",
+    "synthetic:stride:n=12",
+    "synthetic:deep:n=10",
+    "synthetic:wide:n=10",
+)
+
+#: Vector-strip family: only the scoreboard machines replay vector ops.
+MIXED_SPECS = (
+    "mixed:n=192",
+    "mixed:n=100:strip=16",
+)
+MIXED_FAST_SPECS = tuple(
+    spec for spec in FAST_PATH_SPECS if spec in MIXED_MACHINES
+)
+
+def _family_traces(templates, seeds):
+    return [
+        trace_source(f"{template}:seed={seed}")
+        for template in templates
+        for seed in seeds
+    ]
+
+
+def _assert_fast_matches_reference(simulator, trace, config, context):
+    """One trace, one machine: cycles, rate, telemetry and schedule."""
+    fast = simulator.simulate(trace, config)
+    reference = simulator.reference_simulate(trace, config)
+    assert fast.cycles == reference.cycles, context
+    assert fast.issue_rate == reference.issue_rate, context
+    assert fast.instructions == reference.instructions, context
+    assert strip_telemetry(fast.detail) == dict(reference.detail or {}), (
+        context
+    )
+
+    schedule = []
+    recorded = _fast_fn(simulator)(simulator, trace, config, schedule)
+    assert recorded.cycles == fast.cycles, context
+    collector = EventCollector()
+    simulator.simulate_observed(trace, config, collector)
+    issues = collector.cycles_by_seq(EventKind.ISSUE)
+    completes = collector.cycles_by_seq(EventKind.COMPLETE)
+    expected = [
+        (
+            issues[entry.seq],
+            completes.get(
+                entry.seq, issues[entry.seq] + config.branch_latency
+            ),
+        )
+        for entry in trace.entries
+    ]
+    assert schedule == expected, context
+
+
+@pytest.mark.sources
+@pytest.mark.parametrize("spec", FAST_PATH_SPECS)
+def test_families_match_reference(spec):
+    """Fast subset: every registry family, a few seeds, all machines."""
+    simulator = build_simulator(spec)
+    for trace in _family_traces(FAMILY_SPECS, range(3)):
+        config = CONFIGS[len(trace) % len(CONFIGS)]
+        _assert_fast_matches_reference(
+            simulator, trace, config, (spec, trace.name)
+        )
+
+
+@pytest.mark.sources
+@pytest.mark.parametrize("spec", MIXED_FAST_SPECS)
+def test_mixed_family_matches_reference(spec):
+    """The scalar-vector strips agree on the vector-capable machines."""
+    simulator = build_simulator(spec)
+    for trace in _family_traces(MIXED_SPECS, range(3)):
+        config = CONFIGS[len(trace) % len(CONFIGS)]
+        _assert_fast_matches_reference(
+            simulator, trace, config, (spec, trace.name)
+        )
+
+
+@pytest.mark.sources
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", FAST_PATH_SPECS)
+def test_families_match_reference_full_matrix(spec):
+    """Nightly: the full family x seed matrix on every machine."""
+    simulator = build_simulator(spec)
+    for trace in _family_traces(FAMILY_SPECS, range(25)):
+        for config in CONFIGS:
+            _assert_fast_matches_reference(
+                simulator, trace, config, (spec, trace.name, config.name)
+            )
+
+
+@pytest.mark.sources
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", MIXED_FAST_SPECS)
+def test_mixed_family_matches_reference_full_matrix(spec):
+    simulator = build_simulator(spec)
+    for trace in _family_traces(MIXED_SPECS, range(25)):
+        for config in CONFIGS:
+            _assert_fast_matches_reference(
+                simulator, trace, config, (spec, trace.name, config.name)
+            )
+
+
+# ----------------------------------------------------------------------
 # Hook-presence dispatch
 # ----------------------------------------------------------------------
 
