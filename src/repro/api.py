@@ -178,8 +178,8 @@ class TableRun:
 
 
 def list_tables() -> Tuple[str, ...]:
-    """Every table id :func:`run_table` accepts, in paper order."""
-    return tuple(sorted(PLAN_BUILDERS))
+    """Every table id :func:`run_table` accepts, in numeric order."""
+    return tuple(sorted(PLAN_BUILDERS, key=lambda tid: int(tid[5:])))
 
 
 def run_table(

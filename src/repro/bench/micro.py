@@ -52,7 +52,8 @@ __all__ = [
 #: Fast-path machines benchmarked by default: the two scoreboard
 #: variants the paper leans on, two in-order widths, and one
 #: representative of each dynamic machine's compiled loop (RUU,
-#: Tomasulo, out-of-order multi-issue, CDC 6600).
+#: Tomasulo, out-of-order multi-issue, CDC 6600, and the speculative
+#: window machine with its default 2-bit predictor).
 DEFAULT_MACHINES: Tuple[str, ...] = (
     "cray",
     "serialmemory",
@@ -62,6 +63,7 @@ DEFAULT_MACHINES: Tuple[str, ...] = (
     "tomasulo",
     "ooo:4",
     "cdc6600",
+    "spec:50:2bit",
 )
 
 Log = Optional[Callable[[str], None]]

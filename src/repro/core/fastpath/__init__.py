@@ -84,6 +84,7 @@ from .python_backend import (
     simulate_ooo_fast,
     simulate_ruu_fast,
     simulate_scoreboard_fast,
+    simulate_spec_fast,
     simulate_tomasulo_fast,
 )
 from .batch import BatchBackend
@@ -110,6 +111,7 @@ __all__ = [
     "simulate_ooo_fast",
     "simulate_ruu_fast",
     "simulate_scoreboard_fast",
+    "simulate_spec_fast",
     "simulate_sweep",
     "simulate_tomasulo_fast",
     "stats",

@@ -207,6 +207,7 @@ def _family_classes() -> Tuple[Tuple[type, str], ...]:
         from ..ooo_multi import OutOfOrderMultiIssueMachine
         from ..ruu import RUUMachine
         from ..scoreboard import ScoreboardMachine
+        from ..spec import SpecMachine
         from ..tomasulo import TomasuloMachine
 
         _FAMILY_CLASSES = (
@@ -214,6 +215,7 @@ def _family_classes() -> Tuple[Tuple[type, str], ...]:
             (InOrderMultiIssueMachine, "inorder"),
             (OutOfOrderMultiIssueMachine, "ooo"),
             (RUUMachine, "ruu"),
+            (SpecMachine, "spec"),
             (TomasuloMachine, "tomasulo"),
             (CDC6600Machine, "cdc6600"),
         )
@@ -236,7 +238,9 @@ def fast_eligible(simulator) -> bool:
     enabled, the machine must have a compiled loop, no ``on_event`` hook
     may be installed (hooks only fire from the reference loops), and a
     RUU machine must not carry a branch predictor (the compiled loop
-    models only the default resolve-at-issue policy).
+    models only the default resolve-at-issue policy).  The speculative
+    family is exempt from the predictor rule: its compiled loop replays
+    the machine's deterministic predictor itself.
     """
     if not _ENABLED:
         return False

@@ -2,7 +2,7 @@
 
 The paper's experiments are sweep-shaped: the same trace replayed
 across many machine configurations (the four memory/branch variants of
-a table, the oracle's eighteen specs, an issue-width sweep).  The
+a table, the oracle's machine set, an issue-width sweep).  The
 per-spec loops pay the full replay cost per configuration even though
 :func:`~repro.core.fastpath.ir.compile_trace` already shares the
 decode.  This backend evaluates one :class:`CompiledTrace` through a
@@ -18,11 +18,12 @@ WAR policy for the windowed machines).  Flags that only parameterise
 the per-spec recurrence (latency tables, branch latency, bus wiring,
 result-bus modelling, chaining) stay per-spec inside a group, so e.g.
 ``cray``/``serialmemory``/``nonsegmented`` batch together and a
-four-config table row is always one group.  The RUU and Tomasulo
-machines keep their per-spec loops (their per-cycle wakeup state does
-not share across configs profitably); sweep items for them are served
-by the ``python`` backend loops inside the same sweep call, sharing the
-single compiled trace.
+four-config table row is always one group.  The RUU, Tomasulo and
+speculative machines keep their per-spec loops (per-cycle wakeup state
+and predictor replay do not share across configs profitably); sweep
+items for them are served by the ``python`` backend loops inside the
+same sweep call -- counted as ``fallback_runs`` -- sharing the single
+compiled trace.
 
 For the out-of-order machine the shared analysis is the big win: the
 reference (and the per-spec fast loop) re-derives control and data

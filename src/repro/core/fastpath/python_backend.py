@@ -75,6 +75,7 @@ __all__ = [
     "simulate_ooo_fast",
     "simulate_ruu_fast",
     "simulate_scoreboard_fast",
+    "simulate_spec_fast",
     "simulate_tomasulo_fast",
 ]
 
@@ -1532,6 +1533,335 @@ def simulate_ooo_fast(
 
 
 # ----------------------------------------------------------------------
+# Speculative window machine (branch + value prediction limit study)
+# ----------------------------------------------------------------------
+
+#: Functional-unit indices eligible for value prediction, mirroring
+#: :data:`repro.core.spec.VP_UNITS` (resolved by name to avoid importing
+#: the machine module from its own dispatch target).
+_VP_UNIT_IDS = frozenset(
+    index for index, unit in enumerate(UNITS)
+    if unit.name in ("FP_MULTIPLY", "FP_RECIPROCAL")
+)
+
+
+def simulate_spec_fast(
+    machine,
+    trace: Trace,
+    config: MachineConfig,
+    record: Optional[Schedule] = None,
+) -> SimulationResult:
+    """Fast twin of :meth:`SpecMachine.reference_simulate`.
+
+    The speculative machine is contention-free past the issue stage, so
+    every entry's result cycle is fixed analytically the moment it
+    issues (``max(issue + 1, source avails) + latency``) -- no dispatch
+    phase, no ready heap.  What remains cycle-accurate is the commit /
+    issue walk (window gate, issue width, branch resume, in-order
+    width-limited commit), and the outer loop jumps over idle cycles
+    crediting occupancy and stall statistics in closed form, exactly
+    like :func:`simulate_ruu_fast`.
+
+    Unlike the RUU loop, predictors *are* modelled here: the loop
+    instantiates the machine's real predictor object and replays it in
+    program order (predictors are deterministic), so prediction accuracy
+    and per-branch outcomes are bit-identical to the reference by
+    sharing the implementation rather than by reimplementing it.  The
+    static branch attributes the compiled IR does not carry
+    (``backward``, ``static_index``) are read from ``trace.entries`` at
+    branch positions only.
+
+    Schedule records: non-branch entries report ``(issue, commit)``
+    matching the reference's ISSUE/COMPLETE events; branches report
+    ``(issue, resolution)`` where resolution is the cycle correct-path
+    issue resumed (issue + 1 for a predicted-correct or decode-redirected
+    branch, the full recovery window after a mispredict, issue + branch
+    latency with prediction off).
+    """
+    compiled = compile_trace(trace)
+    if compiled.has_vector:
+        from ..base import scalar_only_error
+
+        raise scalar_only_error(machine.name)
+    count_run("python", "fast_runs")
+    table = config.latencies
+    latencies = [table.latency(unit) for unit in UNITS]
+    branch_latency = config.branch_latency
+    width = machine.path_width
+    issue_units = machine.issue_units
+    window = machine.window
+    recovery_window = branch_latency + machine.recovery_penalty
+    predictor = (
+        machine.predictor_factory() if machine.predictor_factory else None
+    )
+    predicted_correct: Dict[int, bool] = {}
+    vp_warmup = machine.vp_warmup
+    value_penalty = machine.value_penalty
+    vp_seen: Dict[int, int] = {}
+    vp_hits = 0
+    vp_misses = 0
+    flushes = 0
+    flush_cycles = 0
+
+    ops = compiled.ops
+    entries = trace.entries
+    n_entries = compiled.n
+    n_regs = N_REGISTERS
+    n_units = len(UNITS)
+
+    latest_instance = [0] * n_regs
+    tag_avail: Dict[int, int] = {}
+
+    ent_unit = [0] * n_entries
+    ent_result = [0] * n_entries
+
+    ring: List[int] = []  # program-ordered live entries (seqs)
+    head = 0
+    live = 0
+
+    occupancy_sum = 0
+    full_stall_cycles = 0
+    branch_stall_cycles = 0
+
+    pos = 0
+    issue_resume = 0
+    cycle = 0
+    last_commit = 0
+    tracking = record is not None
+    if tracking:
+        issue_at = [0] * n_entries
+        complete_at = [0] * n_entries
+    telemetry = telemetry_collecting()
+    if telemetry:
+        t_busy = [0] * n_units
+        t_stride = issue_units + 1
+        t_hist = [0] * ((window + 1) * t_stride)
+
+    while True:
+        if cycle > _MAX_CYCLES:  # pragma: no cover - bug trap
+            raise RuntimeError("spec simulation failed to make progress")
+
+        # ---- commit: retire in order from the head -------------------
+        commits = 0
+        while live > 0 and commits < width:
+            seq = ring[head]
+            if ent_result[seq] > cycle:
+                break
+            head += 1
+            live -= 1
+            commits += 1
+            if cycle > last_commit:
+                last_commit = cycle
+            if tracking:
+                complete_at[seq] = cycle
+            if telemetry:
+                t_busy[ent_unit[seq]] += cycle
+        if head > 4096 and head * 2 > len(ring):
+            del ring[:head]
+            head = 0
+
+        # ---- issue: up to N instructions, in program order -----------
+        issued = 0
+        while (
+            pos < n_entries
+            and issued < issue_units
+            and cycle >= issue_resume
+            and live < window
+        ):
+            op = ops[pos]
+            if op[3]:  # branch
+                if predictor is not None:
+                    if not op[8]:
+                        # Unconditional: decode redirect, one cycle.
+                        issue_resume = cycle + 1
+                    else:
+                        correct = predicted_correct.get(pos)
+                        if correct is None:
+                            t_entry = entries[pos]
+                            taken = bool(op[4])
+                            prediction = predictor.predict_outcome(
+                                t_entry.static_index,
+                                bool(t_entry.backward),
+                                taken,
+                            )
+                            correct = predictor.record(prediction, taken)
+                            predictor.update(t_entry.static_index, taken)
+                            predicted_correct[pos] = correct
+                        if correct:
+                            issue_resume = cycle + 1
+                        else:
+                            a0_tag = latest_instance[_A0] * n_regs + _A0
+                            a0_ready = (
+                                0 if a0_tag < n_regs else tag_avail[a0_tag]
+                            )
+                            if a0_ready > cycle:
+                                break  # mispredicted branch awaiting A0
+                            issue_resume = cycle + recovery_window
+                            flushes += 1
+                            flush_cycles += recovery_window
+                else:
+                    if op[8]:
+                        a0_tag = latest_instance[_A0] * n_regs + _A0
+                        a0_ready = (
+                            0 if a0_tag < n_regs else tag_avail[a0_tag]
+                        )
+                        if a0_ready > cycle:
+                            break  # branch waits at the issue stage
+                    issue_resume = cycle + branch_latency
+                if issue_resume > last_commit:
+                    # Branches never commit; their resolution still
+                    # bounds the machine's finish time.
+                    last_commit = issue_resume
+                if tracking:
+                    issue_at[pos] = cycle
+                    complete_at[pos] = issue_resume
+                pos += 1
+                issued += 1
+                break  # nothing issues behind an unresolved branch
+
+            unit, dest, srcs = op[0], op[1], op[2]
+            ready = cycle + 1
+            for src in srcs:
+                tag = latest_instance[src] * n_regs + src
+                avail = 0 if tag < n_regs else tag_avail[tag]
+                if avail > ready:
+                    ready = avail
+            result = ready + latencies[unit]
+            if dest >= 0:
+                instance = latest_instance[dest] + 1
+                latest_instance[dest] = instance
+                dest_tag = instance * n_regs + dest
+                if vp_warmup is not None and unit in _VP_UNIT_IDS:
+                    seen = vp_seen.get(entries[pos].static_index, 0)
+                    vp_seen[entries[pos].static_index] = seen + 1
+                    if seen >= vp_warmup:
+                        vp_hits += 1
+                        # Predicted broadcast: consumers read the
+                        # (correct) predicted value next cycle.
+                        tag_avail[dest_tag] = cycle + 1
+                    else:
+                        # The reference emits this FLUSH at the
+                        # producer's commit; every issued entry commits
+                        # before the loop exits, so counting at issue
+                        # keeps the totals identical.
+                        vp_misses += 1
+                        flushes += 1
+                        flush_cycles += value_penalty
+                        tag_avail[dest_tag] = result + value_penalty
+                else:
+                    tag_avail[dest_tag] = result
+            ent_unit[pos] = unit
+            ent_result[pos] = result
+            ring.append(pos)
+            live += 1
+            if tracking:
+                issue_at[pos] = cycle
+            if telemetry:
+                t_busy[unit] -= cycle
+            pos += 1
+            issued += 1
+
+        occupancy_sum += live
+        if telemetry:
+            t_hist[live * t_stride + issued] += 1
+        if pos < n_entries and issued == 0:
+            if cycle < issue_resume:
+                branch_stall_cycles += 1
+            elif live >= window:
+                full_stall_cycles += 1
+
+        if pos >= n_entries and live == 0:
+            cycle += 1
+            break
+
+        # ---- advance: next cycle anything can happen ------------------
+        nxt = -1
+        if live > 0:
+            result = ent_result[ring[head]]
+            nxt = result if result > cycle else cycle + 1
+        if pos < n_entries and live < window:
+            cand = issue_resume if issue_resume > cycle + 1 else cycle + 1
+            op = ops[pos]
+            if op[3] and op[8] and (
+                predictor is None
+                or predicted_correct.get(pos) is False
+            ):
+                a0_tag = latest_instance[_A0] * n_regs + _A0
+                a0_ready = 0 if a0_tag < n_regs else tag_avail[a0_tag]
+                if a0_ready > cand:
+                    cand = a0_ready
+            if nxt < 0 or cand < nxt:
+                nxt = cand
+        if nxt < 0:  # pragma: no cover - deadlock trap advances
+            nxt = cycle + 1
+
+        # Credit the skipped idle cycles to the statistics exactly as
+        # the reference's cycle-by-cycle walk would have.
+        idle = nxt - cycle - 1
+        if idle > 0:
+            occupancy_sum += live * idle
+            if telemetry:
+                t_hist[live * t_stride] += idle
+            if pos < n_entries:
+                blocked = issue_resume - cycle - 1
+                if blocked > idle:
+                    blocked = idle
+                elif blocked < 0:
+                    blocked = 0
+                branch_stall_cycles += blocked
+                if live >= window:
+                    full_stall_cycles += idle - blocked
+        cycle = nxt
+
+    if tracking:
+        record.extend(zip(issue_at, complete_at))
+    detail = {
+        "window_occupancy_mean": occupancy_sum / max(cycle, 1),
+        "window_full_stall_cycles": float(full_stall_cycles),
+        "branch_stall_cycles": float(branch_stall_cycles),
+    }
+    if predictor is not None:
+        detail["prediction_accuracy"] = predictor.stats.accuracy
+    if vp_warmup is not None:
+        total = vp_hits + vp_misses
+        detail["vp_accuracy"] = vp_hits / total if total else 0.0
+    if telemetry:
+        t_width: Dict[int, int] = {}
+        t_occupancy: Dict[int, int] = {}
+        for index, count in enumerate(t_hist):
+            if count:
+                level, issued = divmod(index, t_stride)
+                t_occupancy[level] = t_occupancy.get(level, 0) + count
+                if issued:
+                    t_width[issued] = t_width.get(issued, 0) + count
+        detail.update(SimTelemetry(
+            instructions=n_entries,
+            cycles=max(last_commit, 1),
+            stall_cycles={
+                "BRANCH": branch_stall_cycles,
+                "RUU_FULL": full_stall_cycles,
+            },
+            fu_busy_cycles={
+                _UNIT_NAMES[u]: t_busy[u]
+                for u in range(n_units)
+                if t_busy[u]
+            },
+            issue_width=t_width,
+            occupancy=t_occupancy,
+            flushes=flushes,
+            flush_cycles=flush_cycles,
+        ).to_detail())
+    return SimulationResult(
+        trace_name=compiled.name,
+        simulator=machine.name,
+        config=config,
+        instructions=n_entries,
+        cycles=max(last_commit, 1),
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
 # The backend wrapper
 # ----------------------------------------------------------------------
 
@@ -1568,6 +1898,7 @@ _FAMILY_LOOPS = {
     "inorder": simulate_inorder_fast,
     "ooo": simulate_ooo_fast,
     "ruu": simulate_ruu_fast,
+    "spec": simulate_spec_fast,
     "tomasulo": simulate_tomasulo_fast,
     "cdc6600": simulate_cdc6600_fast,
 }

@@ -69,6 +69,7 @@ SPEC_TEMPLATES = (
     "inorder:<units>[:<bus>]",
     "ooo:<units>[:<bus>]",
     "ruu:<units>:<ruu-size>[:<bus>]",
+    "spec[:<window>][:<predictor>][:<key>=<value>...]",
     "cache:<words>[:<hit>:<miss>]",
     "banked:<banks>[:<busy>]",
 )
@@ -85,8 +86,10 @@ def available_specs() -> str:
         "simple | serialmemory | nonsegmented | cray | cdc6600 | tomasulo | "
         "inorder:<units>[:<bus>] | ooo:<units>[:<bus>] | "
         "ruu:<units>:<ruu-size>[:<bus>] | "
+        "spec[:<window>][:<predictor>][:<key>=<value>...] | "
         "cache:<words>[:<hit>:<miss>] | banked:<banks>[:<busy>]"
-        "  (bus: nbus, 1bus, xbar)"
+        "  (bus: nbus, 1bus, xbar; spec predictors: none, always, btfn, "
+        "1bit, 2bit, perfect, wrong; spec keys: units, bus, rp, vp, vpp)"
     )
 
 
@@ -160,6 +163,12 @@ def _build_simulator(spec: str) -> Simulator:
         size = int(parts[2])
         bus = _parse_bus(parts[3] if len(parts) > 3 else "", BusKind.N_BUS)
         return RUUMachine(units, size, bus)
+
+    if head == "spec":
+        from .spec import SpecMachine, parse_spec_params
+
+        params = parse_spec_params(parsed.params)
+        return SpecMachine.from_params(params, _parse_bus(params.bus, BusKind.N_BUS))
 
     if head == "cache":
         from ..memsys import Cache, CachedMemory, MemoryAwareMachine

@@ -22,6 +22,8 @@ from .experiments import (
     table6,
     table7,
     table8,
+    table9,
+    table10,
 )
 from .paper import PAPER_SECTION33, PAPER_TABLES
 from .tables import ResultTable, compare_tables
@@ -56,4 +58,6 @@ __all__ = [
     "table6",
     "table7",
     "table8",
+    "table9",
+    "table10",
 ]

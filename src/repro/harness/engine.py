@@ -49,7 +49,7 @@ from ..obs import (
 )
 from ..trace import DiskCache, Trace, default_cache_dir
 from ..trace.sources import trace_source
-from .aggregate import harmonic_mean
+from .aggregate import arithmetic_mean, harmonic_mean
 from .plans import Cell, ExperimentPlan
 from .progress import ProgressCallback, ProgressEvent
 from .tables import ResultTable
@@ -246,6 +246,12 @@ def _values_from_record(cell: Cell, record: Mapping[str, Any]) -> Dict[str, floa
     if cell.is_limits:
         limits = record["limits"]
         return {column: float(limits[column]) for column in cell.columns}
+    if cell.metric != "rate":
+        # Detail-backed metric (prediction_accuracy, vp_accuracy, ...).
+        # A record missing the key raises KeyError, which the callers
+        # treat exactly like a corrupt entry: recompute and overwrite.
+        detail = record.get("detail") or {}
+        return {cell.columns[0]: float(detail[cell.metric])}
     rate = int(record["instructions"]) / int(record["cycles"])
     return {cell.columns[0]: rate}
 
@@ -543,20 +549,34 @@ def merge_outcomes(
 
     Grouped values are harmonic-meaned in cell order (class loop order),
     matching the paper's per-class aggregation exactly -- and making the
-    merge independent of completion order.
+    merge independent of completion order.  Columns named in the plan's
+    ``aggregators`` fold with the arithmetic mean instead (accuracies);
+    with ``speedup_base`` set, the ``speedup_columns`` means are divided
+    by the row's base-column mean after folding.
     """
     grouped: Dict[Tuple[str, str], List[float]] = {}
     for outcome in sorted(outcomes, key=lambda o: o.index):
         cell = plan.cells[outcome.index]
         for column, value in outcome.values.items():
             grouped.setdefault((cell.row, column), []).append(value)
+    folds = dict(plan.aggregators)
     rows = []
     for row in plan.rows:
-        values = {
-            column: harmonic_mean(grouped[(row, column)])
-            for column in plan.columns
-            if (row, column) in grouped
-        }
+        values = {}
+        for column in plan.columns:
+            if (row, column) not in grouped:
+                continue
+            samples = grouped[(row, column)]
+            if folds.get(column) == "amean":
+                values[column] = arithmetic_mean(samples)
+            else:
+                values[column] = harmonic_mean(samples)
+        if plan.speedup_base is not None:
+            base = values.get(plan.speedup_base)
+            if base:
+                for column in plan.speedup_columns:
+                    if column in values:
+                        values[column] = values[column] / base
         rows.append((row, values))
     return ResultTable(
         table_id=plan.table_id,

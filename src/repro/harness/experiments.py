@@ -117,6 +117,22 @@ def table8(
     return _run("table8", sizes, **overrides)
 
 
+def table9(sizes: Sizes = None) -> ResultTable:
+    """Speculative issue with branch + value prediction, scalar code.
+
+    Not a table from the paper: the limit study the paper motivates.
+    Reports speedup of the speculative family over the contended
+    ``ruu:4:50`` baseline, plus predictor / value-predictor accuracies
+    (see ``docs/speculation.md``).
+    """
+    return _run("table9", sizes)
+
+
+def table10(sizes: Sizes = None) -> ResultTable:
+    """Speculative issue with branch + value prediction, vectorizable code."""
+    return _run("table10", sizes)
+
+
 # ----------------------------------------------------------------------
 # Appendix-style per-loop breakdown (not a paper table; full transparency)
 # ----------------------------------------------------------------------

@@ -56,6 +56,12 @@ class Cell:
         columns: column label(s) the cell fills -- one for a simulation
             cell, the three limit columns for a limits cell.
         serial: for limits cells, include WAW serialisation.
+        metric: which value of the simulation feeds the column --
+            ``"rate"`` (instructions/cycles, the default) or the name of
+            a ``result.detail`` entry (``"prediction_accuracy"``,
+            ``"vp_accuracy"``).  Not part of the cache identity: a rate
+            cell and an accuracy cell over the same simulation share one
+            stored record.
     """
 
     loop: int
@@ -65,6 +71,7 @@ class Cell:
     row: str
     columns: Tuple[str, ...]
     serial: bool = False
+    metric: str = "rate"
 
     @property
     def is_limits(self) -> bool:
@@ -73,13 +80,26 @@ class Cell:
 
 @dataclass(frozen=True)
 class ExperimentPlan:
-    """An ordered, fully independent decomposition of one table."""
+    """An ordered, fully independent decomposition of one table.
+
+    ``aggregators`` overrides the per-column fold: grouped values merge
+    with the harmonic mean by default (rates), ``("col", "amean")``
+    switches a column to the arithmetic mean (accuracies, which may be
+    zero).  When ``speedup_base`` is set, every column named in
+    ``speedup_columns`` is divided by the row's base-column mean after
+    folding, turning absolute rates into speedups over the base machine.
+    All three are plain picklable data so plans still cross process
+    boundaries unchanged.
+    """
 
     table_id: str
     title: str
     columns: Tuple[str, ...]
     rows: Tuple[str, ...]
     cells: Tuple[Cell, ...]
+    aggregators: Tuple[Tuple[str, str], ...] = ()
+    speedup_base: Optional[str] = None
+    speedup_columns: Tuple[str, ...] = ()
 
 
 def _size(loop: int, sizes: Sizes) -> int:
@@ -289,6 +309,76 @@ def plan_table8(
     )
 
 
+#: Columns of the speculation limit study (tables 9-10): one
+#: ``(column label, machine spec, metric)`` triple per column.  The RUU
+#: baseline column reports its absolute issue rate; the speculative
+#: columns report speedup over that baseline (``speedup_columns``
+#: below), and the accuracy columns report the arithmetic-mean predictor
+#: / value-predictor hit rate of the machine to their left.
+_SPEC_STUDY_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("RUU x4 R50", "ruu:4:50", "rate"),
+    ("btfn", "spec:50:btfn", "rate"),
+    ("btfn acc", "spec:50:btfn", "prediction_accuracy"),
+    ("2bit", "spec:50:2bit", "rate"),
+    ("2bit acc", "spec:50:2bit", "prediction_accuracy"),
+    ("2bit+vp", "spec:50:2bit:vp=last", "rate"),
+    ("vp acc", "spec:50:2bit:vp=last", "vp_accuracy"),
+    ("perfect", "spec:50:perfect", "rate"),
+)
+
+
+def _plan_spec_study(
+    table_id: str, title: str, class_label: str, sizes: Sizes
+) -> ExperimentPlan:
+    loops = _CLASS_LOOPS[class_label]
+    columns = tuple(label for label, _, _ in _SPEC_STUDY_COLUMNS)
+    cells = []
+    for config in CONFIG_NAMES:
+        for column, machine, metric in _SPEC_STUDY_COLUMNS:
+            for loop in loops:
+                cells.append(Cell(
+                    loop=loop,
+                    n=_size(loop, sizes),
+                    machine=machine,
+                    config=config,
+                    row=config,
+                    columns=(column,),
+                    metric=metric,
+                ))
+    return ExperimentPlan(
+        table_id=table_id,
+        title=title,
+        columns=columns,
+        rows=tuple(CONFIG_NAMES),
+        cells=tuple(cells),
+        aggregators=(
+            ("btfn acc", "amean"),
+            ("2bit acc", "amean"),
+            ("vp acc", "amean"),
+        ),
+        speedup_base="RUU x4 R50",
+        speedup_columns=("btfn", "2bit", "2bit+vp", "perfect"),
+    )
+
+
+def plan_table9(sizes: Sizes = None) -> ExperimentPlan:
+    return _plan_spec_study(
+        "table9",
+        "Table 9: speculative issue with branch + value prediction; "
+        "scalar code (speedup over RUU x4 R50)",
+        "scalar", sizes,
+    )
+
+
+def plan_table10(sizes: Sizes = None) -> ExperimentPlan:
+    return _plan_spec_study(
+        "table10",
+        "Table 10: speculative issue with branch + value prediction; "
+        "vectorizable code (speedup over RUU x4 R50)",
+        "vectorizable", sizes,
+    )
+
+
 #: Table id -> plan builder.  Every builder accepts ``sizes`` as its first
 #: keyword; tables 3-8 also accept their sweep parameters.
 PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
@@ -300,6 +390,8 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "table6": plan_table6,
     "table7": plan_table7,
     "table8": plan_table8,
+    "table9": plan_table9,
+    "table10": plan_table10,
 }
 
 

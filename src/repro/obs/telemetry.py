@@ -329,7 +329,7 @@ def telemetry_from_events(
         width[count] = width.get(count, 0) + 1
 
     occupancy: Dict[int, int] = {}
-    if family == "ruu":
+    if family in ("ruu", "spec"):
         # Difference array over dispatch/commit; the reference loop
         # visits every cycle from 0 through the last event cycle.
         delta: Dict[int, int] = {}

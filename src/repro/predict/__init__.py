@@ -5,6 +5,7 @@ from .predictors import (
     BackwardTakenPredictor,
     BranchPredictor,
     OneBitPredictor,
+    OraclePredictor,
     PredictorStats,
     TwoBitPredictor,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "BackwardTakenPredictor",
     "BranchPredictor",
     "OneBitPredictor",
+    "OraclePredictor",
     "PredictorStats",
     "TwoBitPredictor",
 ]

@@ -56,6 +56,19 @@ class BranchPredictor(abc.ABC):
                 (available to static heuristics).
         """
 
+    def predict_outcome(
+        self, static_index: int, backward: bool, taken: bool
+    ) -> bool:
+        """Prediction with the actual outcome in scope.
+
+        Real predictors must ignore *taken* (the default delegates to
+        :meth:`predict`); only the oracle bounds
+        (:class:`OraclePredictor`) use it.  Machines call this entry
+        point so the perfect / always-wrong limit predictors need no
+        special casing in the simulators.
+        """
+        return self.predict(static_index, backward)
+
     def update(self, static_index: int, taken: bool) -> None:
         """Train on the actual outcome (default: stateless)."""
 
@@ -134,3 +147,35 @@ class TwoBitPredictor(BranchPredictor):
         else:
             counter = max(0, counter - 1)
         self._counter[static_index] = counter
+
+
+class OraclePredictor(BranchPredictor):
+    """Limit-study bound: predicts every branch right (or every branch
+    wrong).
+
+    The speculative machine family uses the two instances as its
+    bracketing bounds: ``perfect`` (every conditional branch predicted
+    correctly) gives the speculation ceiling, ``always-wrong`` the
+    recovery-cost floor.  Only :meth:`predict_outcome` is meaningful --
+    :meth:`predict` has no outcome in scope and degenerates to
+    always-taken, so real machines must route through
+    :meth:`predict_outcome` (as :class:`repro.core.spec.SpecMachine`
+    does).
+    """
+
+    def __init__(self, correct: bool = True) -> None:
+        super().__init__()
+        #: Simulators can also sense the oracle through this attribute.
+        self.oracle_correct = bool(correct)
+
+    @property
+    def name(self) -> str:
+        return "perfect" if self.oracle_correct else "always-wrong"
+
+    def predict(self, static_index: int, backward: bool) -> bool:
+        return True
+
+    def predict_outcome(
+        self, static_index: int, backward: bool, taken: bool
+    ) -> bool:
+        return taken if self.oracle_correct else not taken

@@ -18,7 +18,7 @@ model is caught before it corrupts a table:
   layers together.
 """
 
-from .fuzz import FuzzSpec, fuzz_trace
+from .fuzz import FuzzSpec, fuzz_trace, kernel_calibrated_spec
 from .invariants import (
     InvariantViolation,
     MachineProfile,
@@ -50,6 +50,7 @@ __all__ = [
     "VerifyReport",
     "check_invariants",
     "fuzz_trace",
+    "kernel_calibrated_spec",
     "profile_for_spec",
     "run_oracle",
     "run_verification",

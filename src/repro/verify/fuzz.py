@@ -262,6 +262,102 @@ def fuzz_family(name: str, seed: int = 0) -> Trace:
     return fuzz_trace(seed, spec)
 
 
+#: S-pipe (scalar / floating) vs A-pipe (address) functional units, for
+#: mapping a measured ``fu_demand`` onto the ``float_fraction`` knob.
+#: MEMORY, BRANCH and TRANSFER are excluded: the first two have their
+#: own knobs and the fuzzer mints register moves on both pipes.
+_FLOAT_UNIT_NAMES = frozenset({
+    "scalar add", "scalar logical", "scalar shift", "population count",
+    "floating add", "floating multiply", "reciprocal approximation",
+})
+_INT_UNIT_NAMES = frozenset({"address add", "address multiply"})
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(high, max(low, value))
+
+
+def kernel_calibrated_spec(
+    loop: int,
+    n: Optional[int] = None,
+    length: Optional[int] = None,
+) -> FuzzSpec:
+    """Fuzzer knobs calibrated to one Livermore kernel's measured shape.
+
+    Measures the kernel's verified dynamic trace with
+    :func:`repro.trace.sources.source_statistics` and maps the envelope
+    onto the :class:`FuzzSpec` knobs, so fuzzed campaigns can stress the
+    machine models with workloads shaped like each real kernel (rather
+    than only the hand-picked family corners):
+
+    * ``branch_fraction`` / ``memory_fraction`` -- the measured mix,
+      clamped to the fuzzer's valid region;
+    * ``dependency_density`` -- the measured ``dependent_fraction``
+      scaled by how much tighter the fuzzer's recent-write window is
+      than the kernel's mean dependence distance (a kernel with long
+      mean distances -- wide dataflow like loop 8 -- calibrates to a
+      low density, a tight recurrence like loop 5 to a high one);
+    * ``float_fraction`` -- the S-pipe share of the measured
+      functional-unit demand over both compute pipes;
+    * ``taken_fraction`` / ``backward_fraction`` -- counted directly
+      from the kernel's dynamic branch outcomes (loop back-edges, so
+      typically close to 1.0);
+    * ``length`` -- the kernel's dynamic length, capped at 120 by
+      default to keep fuzzed replay cheap (override with *length*).
+
+    The deterministic fuzzer contract is unchanged:
+    ``fuzz_trace(seed, kernel_calibrated_spec(loop))`` is reproducible.
+    """
+    from ..kernels import default_size
+    from ..trace.sources import source_statistics, trace_source
+
+    size = default_size(loop) if n is None else n
+    trace = trace_source(f"kernel:{loop}:n={size}")
+    stats = source_statistics(trace)
+
+    branch_fraction = _clamp(stats.branch_fraction, 0.0, 0.35)
+    memory_fraction = _clamp(
+        stats.memory_fraction, 0.0, 1.0 - branch_fraction
+    )
+    distance = max(stats.mean_dependence_distance, 1.0)
+    dependency_density = _clamp(
+        stats.dependent_fraction * _RECENT_WINDOW / distance, 0.05, 0.95
+    )
+    float_demand = sum(
+        share for unit, share in stats.fu_demand.items()
+        if unit in _FLOAT_UNIT_NAMES
+    )
+    int_demand = sum(
+        share for unit, share in stats.fu_demand.items()
+        if unit in _INT_UNIT_NAMES
+    )
+    compute = float_demand + int_demand
+    float_fraction = float_demand / compute if compute else 0.5
+
+    outcomes = [e.taken for e in trace.entries if e.taken is not None]
+    backwards = [
+        bool(e.backward) for e in trace.entries if e.taken is not None
+    ]
+    taken_fraction = (
+        sum(outcomes) / len(outcomes) if outcomes else FuzzSpec.taken_fraction
+    )
+    backward_fraction = (
+        sum(backwards) / len(backwards)
+        if backwards
+        else FuzzSpec.backward_fraction
+    )
+
+    return FuzzSpec(
+        length=min(stats.length, 120) if length is None else length,
+        dependency_density=dependency_density,
+        memory_fraction=memory_fraction,
+        branch_fraction=branch_fraction,
+        float_fraction=_clamp(float_fraction, 0.0, 1.0),
+        taken_fraction=_clamp(taken_fraction, 0.0, 1.0),
+        backward_fraction=_clamp(backward_fraction, 0.0, 1.0),
+    )
+
+
 def fuzz_trace(seed: int, spec: Optional[FuzzSpec] = None) -> Trace:
     """Generate one deterministic synthetic trace for *seed* under *spec*."""
     spec = spec or FuzzSpec()

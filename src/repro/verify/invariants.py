@@ -43,7 +43,9 @@ KNOWN_STALL_REASONS = frozenset(
     {"RAW", "WAW", "UNIT", "BUS", "BRANCH", "RUU_FULL", "STATIONS_FULL"}
 )
 #: Every flush reason.
-KNOWN_FLUSH_REASONS = frozenset({"TAKEN_BRANCH", "MISPREDICT"})
+KNOWN_FLUSH_REASONS = frozenset(
+    {"TAKEN_BRANCH", "MISPREDICT", "VALUE_MISPREDICT"}
+)
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,17 @@ class MachineProfile:
         stations_per_unit: Tomasulo per-unit reservation-station bound.
         fu_single_issue: at most one ISSUE per functional unit per cycle
             (true when issue == dispatch, i.e. for blocking machines).
+        speculative: the machine runs a branch predictor and accounts
+            wrong-path fetch with ``FLUSH(reason="MISPREDICT")`` events;
+            enables the flush-accounting checks.
+        recovery_penalty: configured extra recovery cycles beyond the
+            branch resolution on a mispredict (speculative machines);
+            every MISPREDICT flush must carry exactly
+            ``branch_latency + recovery_penalty`` wrong-path cycles.
+        value_penalty: configured squash/re-execute cost of a value
+            misprediction; set iff value prediction is on, and every
+            ``FLUSH(reason="VALUE_MISPREDICT")`` must carry exactly this
+            many cycles, anchored at the producer's commit.
     """
 
     spec: str
@@ -73,6 +86,9 @@ class MachineProfile:
     window_size: Optional[int] = None
     stations_per_unit: Optional[int] = None
     fu_single_issue: bool = True
+    speculative: bool = False
+    recovery_penalty: Optional[int] = None
+    value_penalty: Optional[int] = None
 
 
 def profile_for_spec(spec: str) -> MachineProfile:
@@ -117,6 +133,28 @@ def profile_for_spec(spec: str) -> MachineProfile:
             issue_width=units,
             window_size=size,
             fu_single_issue=False,
+        )
+    if head == "spec":
+        from ..core.spec import parse_spec_params
+
+        spec_params = parse_spec_params(params)
+        speculative = spec_params.predictor != "none"
+        return MachineProfile(
+            spec=spec,
+            blocking=False,
+            branch_completes=False,
+            issue_width=spec_params.units,
+            window_size=spec_params.window,
+            fu_single_issue=False,
+            speculative=speculative,
+            recovery_penalty=(
+                spec_params.recovery_penalty if speculative else None
+            ),
+            value_penalty=(
+                spec_params.value_penalty
+                if spec_params.value_predictor != "off"
+                else None
+            ),
         )
     # Unknown spec: let build_simulator raise the canonical error.
     build_simulator(spec)
@@ -207,6 +245,7 @@ def check_invariants(
     complete_cycle: Dict[int, int] = {}
     issues_per_cycle: Dict[int, int] = {}
     unit_issues: Dict[Tuple[object, int], int] = {}
+    flush_events: List[SimEvent] = []
 
     for event in events:
         if event.kind is EventKind.ISSUE:
@@ -252,6 +291,7 @@ def check_invariants(
                     event.seq,
                     f"unknown flush reason {event.reason!r}",
                 )
+            flush_events.append(event)
 
     # ---- total issued == trace length ---------------------------------
     missing = [seq for seq in range(len(trace)) if seq not in issue_cycle]
@@ -396,6 +436,18 @@ def check_invariants(
             report=report,
         )
 
+    # ---- speculative flush accounting ---------------------------------
+    if profile.speculative or profile.value_penalty is not None:
+        _check_flush_accounting(
+            trace,
+            flush_events,
+            issue_cycle,
+            complete_cycle,
+            config=config,
+            profile=profile,
+            report=report,
+        )
+
     # ---- events never exceed the reported run length ------------------
     if collector.max_cycle() > result.cycles:
         report(
@@ -406,6 +458,144 @@ def check_invariants(
         )
 
     return violations
+
+
+def _check_flush_accounting(
+    trace: Trace,
+    flush_events: List[SimEvent],
+    issue_cycle: Dict[int, int],
+    complete_cycle: Dict[int, int],
+    *,
+    config: MachineConfig,
+    profile: MachineProfile,
+    report,
+) -> None:
+    """Flush events balance the speculation they account for.
+
+    A ``MISPREDICT`` flush must anchor at a conditional branch's issue
+    cycle, carry exactly the configured recovery window
+    (``branch_latency + recovery_penalty``), and open a wrong-path
+    window in which no correct-path instruction issues -- discarded
+    wrong-path fetch is exactly what those cycles model, and since the
+    trace is the correct path, nothing from it may issue inside them
+    (no architectural commit of wrong-path results, by construction).
+    A ``VALUE_MISPREDICT`` flush must anchor a value-predicted producer
+    (a long-latency FP unit writing a register) at its commit cycle --
+    verify-at-complete -- and carry exactly the configured squash cost.
+    """
+    from ..core.spec import VP_UNITS
+
+    issue_cycles_sorted = sorted(set(issue_cycle.values()))
+    flushed_seqs: Dict[int, int] = {}
+    for event in flush_events:
+        if event.seq in flushed_seqs:
+            report(
+                "flush-exactly-once",
+                event.seq,
+                f"flushed twice (cycles {flushed_seqs[event.seq]} and "
+                f"{event.cycle})",
+            )
+            continue
+        flushed_seqs[event.seq] = event.cycle
+        if not 0 <= event.seq < len(trace):
+            report(
+                "flush-anchor",
+                event.seq,
+                f"FLUSH for out-of-range seq {event.seq}",
+            )
+            continue
+        instr = trace.entries[event.seq].instruction
+
+        if event.reason == "MISPREDICT":
+            if not profile.speculative:
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    "MISPREDICT flush from a machine without a predictor",
+                )
+                continue
+            if not instr.is_conditional_branch:
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    f"MISPREDICT flush anchored to {instr.opcode.value}, "
+                    "not a conditional branch",
+                )
+                continue
+            issued = issue_cycle.get(event.seq)
+            if issued is None or event.cycle != issued:
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    f"MISPREDICT flush at cycle {event.cycle} but the "
+                    f"branch issued at {issued}",
+                )
+            expected = config.branch_latency + (profile.recovery_penalty or 0)
+            if event.cycles != expected:
+                report(
+                    "flush-recovery-exact",
+                    event.seq,
+                    f"MISPREDICT flush carries {event.cycles} wrong-path "
+                    f"cycles; the configured recovery window is {expected} "
+                    f"(branch latency {config.branch_latency} + penalty "
+                    f"{profile.recovery_penalty or 0})",
+                )
+            # Wrong-path fetch window: no correct-path ISSUE strictly
+            # inside (flush cycle, flush cycle + cycles).
+            from bisect import bisect_right
+
+            index = bisect_right(issue_cycles_sorted, event.cycle)
+            if (
+                index < len(issue_cycles_sorted)
+                and issue_cycles_sorted[index] < event.cycle + event.cycles
+            ):
+                report(
+                    "wrong-path-window",
+                    event.seq,
+                    f"an instruction issued at cycle "
+                    f"{issue_cycles_sorted[index]}, inside the wrong-path "
+                    f"window ({event.cycle}, {event.cycle + event.cycles}) "
+                    "opened by this misprediction",
+                )
+        elif event.reason == "VALUE_MISPREDICT":
+            if profile.value_penalty is None:
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    "VALUE_MISPREDICT flush from a machine without value "
+                    "prediction",
+                )
+                continue
+            if (
+                instr.is_branch
+                or instr.dest is None
+                or instr.unit not in VP_UNITS
+            ):
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    f"VALUE_MISPREDICT flush anchored to "
+                    f"{instr.opcode.value}, not a value-predicted "
+                    "long-latency producer",
+                )
+                continue
+            completed = complete_cycle.get(event.seq)
+            if completed is None or event.cycle != completed:
+                report(
+                    "flush-anchor",
+                    event.seq,
+                    f"VALUE_MISPREDICT flush at cycle {event.cycle} but "
+                    f"the producer commits at {completed} "
+                    "(verification happens at complete)",
+                )
+            if event.cycles != profile.value_penalty:
+                report(
+                    "flush-recovery-exact",
+                    event.seq,
+                    f"VALUE_MISPREDICT flush carries {event.cycles} squash "
+                    f"cycles; the configured penalty is "
+                    f"{profile.value_penalty}",
+                )
 
 
 def _check_occupancy(

@@ -87,12 +87,20 @@ DEFAULT_ORACLE_MACHINES: Tuple[str, ...] = (
     "ruu:2:50",
     "ruu:4:50",
     "ruu:4:50:1bus",
+    "spec:50:none",
+    "spec:50:btfn",
+    "spec:50:2bit",
+    "spec:50:perfect",
+    "spec:50:wrong",
 )
 
 #: Memory-system wrapper specs use their own access latencies (cache hits
 #: can beat the config's memory latency), so the config-derived limit
-#: bounds do not apply to them.
-_BOUND_EXEMPT_HEADS = frozenset({"cache", "banked"})
+#: bounds do not apply to them.  The speculative family is exempt too:
+#: it is contention-free past the issue stage (it can beat the per-unit
+#: resource throughput bound) and speculates past branches (the
+#: pseudo-dataflow bound serialises every branch at full latency).
+_BOUND_EXEMPT_HEADS = frozenset({"cache", "banked", "spec"})
 
 
 @dataclass(frozen=True)
@@ -117,6 +125,43 @@ DEFAULT_EDGES: Tuple[OrderingEdge, ...] = (
     OrderingEdge("ooo:1", "inorder:1", exact=True, claim="one slot leaves no reordering"),
     OrderingEdge("inorder:2", "inorder:1", claim="a second issue unit"),
     OrderingEdge("ruu:2:10", "ruu:1:1", claim="wider issue and a larger RUU"),
+    # The speculative family's prediction-quality chain.  Unlike the
+    # contended machines above, these hold per seed BY CONSTRUCTION:
+    # the spec machine is contention-free past the issue stage, so every
+    # timing recurrence is isotone (max/+ over earlier issue,
+    # availability and commit times) and relaxing any branch's
+    # issue-resume window can only help -- perfect relaxes every
+    # conditional branch a real predictor gets right, a real predictor
+    # relaxes every branch always-wrong stalls on, and always-wrong (at
+    # the default zero recovery penalty) still redirects unconditional
+    # branches in one cycle where the no-speculation baseline pays the
+    # full branch latency (see docs/speculation.md for the argument).
+    OrderingEdge(
+        "spec:50:perfect", "spec:50:2bit",
+        claim="perfect prediction bounds any real predictor",
+    ),
+    OrderingEdge(
+        "spec:50:perfect", "spec:50:btfn",
+        claim="perfect prediction bounds any real predictor",
+    ),
+    OrderingEdge(
+        "spec:50:2bit", "spec:50:wrong",
+        claim="a real predictor never loses to always-wrong",
+    ),
+    OrderingEdge(
+        "spec:50:btfn", "spec:50:wrong",
+        claim="a real predictor never loses to always-wrong",
+    ),
+    OrderingEdge(
+        "spec:50:wrong", "spec:50:none",
+        claim="speculation with bounded recovery never loses to "
+        "no speculation",
+    ),
+    OrderingEdge(
+        "spec:50:none", "ruu:4:50",
+        claim="the contention-free limit machine never loses to the "
+        "contended RUU at the same width and window",
+    ),
 )
 
 

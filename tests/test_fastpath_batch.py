@@ -57,8 +57,9 @@ def _oracle_simulators():
 # ----------------------------------------------------------------------
 
 def test_batch_matches_perspec_and_reference_over_oracle_set():
-    """300 fuzzed traces x the 18 oracle specs: batch == per-spec fast
-    == reference on cycles, rates and instruction counts."""
+    """300 fuzzed traces x the full oracle machine set (the speculative
+    family included): batch == per-spec fast == reference on cycles,
+    rates and instruction counts."""
     machines = _oracle_simulators()
     items = [(sim, None) for _, sim in machines]
     for seed, trace in enumerate(TRACES):
@@ -153,6 +154,96 @@ def test_table5_style_sweep_is_bit_identical_across_configs():
         for config, result in zip(CONFIGS, results):
             ref = simulator.reference_simulate(trace, config)
             assert result.cycles == ref.cycles, (trace.name, config.name)
+
+
+# ----------------------------------------------------------------------
+# Speculative family through the batch backend
+# ----------------------------------------------------------------------
+#
+# The batch backend has no spec kernels: spec sweep members are served
+# by the python backend's compiled loop inside the same sweep call and
+# counted as fallback_runs.  The contract is still full bit-identity --
+# cycles, rates, schedules and tlm.* telemetry -- against both the
+# per-spec fast loop and the reference.
+
+from repro.obs.telemetry import strip_telemetry
+
+#: Predictor grid x option variants, replayed as one sweep per trace.
+SPEC_SWEEP_SPECS = (
+    "spec:50:none",
+    "spec:50:always",
+    "spec:50:btfn",
+    "spec:50:1bit",
+    "spec:50:2bit",
+    "spec:50:perfect",
+    "spec:50:wrong",
+    "spec:8:2bit",
+    "spec:50:2bit:rp=8",
+    "spec:50:2bit:vp=last",
+    "spec:50:wrong:rp=5:vp=last",
+)
+
+
+def test_batch_serves_spec_grid_bit_identically():
+    """Predictor grid x backends: one batch sweep per trace must match
+    the python backend and the reference on cycles, rates, detail
+    (telemetry included) and per-instruction schedules."""
+    machines = [(spec, build_simulator(spec)) for spec in SPEC_SWEEP_SPECS]
+    for seed in range(0, N_SEEDS, 4):
+        trace = TRACES[seed]
+        config = CONFIGS[seed % len(CONFIGS)]
+        batch_records = [[] for _ in machines]
+        perspec_records = [[] for _ in machines]
+        batch = fastpath.simulate_sweep(
+            trace,
+            [
+                fastpath.SweepItem(sim, config, record)
+                for (_, sim), record in zip(machines, batch_records)
+            ],
+            backend="batch",
+        )
+        perspec = fastpath.simulate_sweep(
+            trace,
+            [
+                fastpath.SweepItem(sim, config, record)
+                for (_, sim), record in zip(machines, perspec_records)
+            ],
+            backend="python",
+        )
+        for (spec, sim), b, p, br, pr in zip(
+            machines, batch, perspec, batch_records, perspec_records
+        ):
+            ref = sim.reference_simulate(trace, config)
+            context = (spec, trace.name, config.name)
+            assert b.cycles == p.cycles == ref.cycles, context
+            assert b.issue_rate == p.issue_rate == ref.issue_rate, context
+            assert b.instructions == p.instructions == ref.instructions, (
+                context
+            )
+            # Identical telemetry from both backends, and the
+            # non-telemetry detail matches the reference exactly.
+            assert dict(b.detail or {}) == dict(p.detail or {}), context
+            assert strip_telemetry(b.detail) == dict(ref.detail or {}), (
+                context
+            )
+            assert len(br) == len(trace), context
+            assert br == pr, context
+
+
+def test_spec_sweep_members_counted_as_batch_fallbacks():
+    """Spec members of a batch sweep are attributed as fallback_runs
+    (python-loop service inside the sweep), never as batch fast_runs."""
+    machines = [build_simulator(spec) for spec in SPEC_SWEEP_SPECS[:4]]
+    fastpath.reset_stats()
+    fastpath.simulate_sweep(
+        TRACES[7],
+        [(sim, M11BR5) for sim in machines],
+        backend="batch",
+    )
+    stats = fastpath.stats()
+    assert stats["batch.fallback_runs"] == len(machines)
+    assert stats["batch.sweeps"] == 1
+    assert stats["batch.fast_runs"] == 0
 
 
 # ----------------------------------------------------------------------

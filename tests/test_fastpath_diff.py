@@ -218,6 +218,172 @@ def test_vector_trace_rejected_with_reference_message():
 
 
 # ----------------------------------------------------------------------
+# Speculative family: predictor grid x options, schedules + telemetry
+# ----------------------------------------------------------------------
+#
+# The spec machines keep their predictor on the fast path (it is
+# deterministic and the compiled loop replays it), so the differential
+# here additionally pins the branch-resolution schedule contract and the
+# tlm.* telemetry (flush counters included) against the event stream.
+# Tier-1 replays the full predictor grid over the shared 300-trace pool;
+# the option variants (recovery penalty, value prediction, width / bus /
+# window) run a fast subset here and the full matrix nightly.
+
+from repro.core.spec import SpecMachine
+from repro.obs.telemetry import SimTelemetry, telemetry_from_events
+
+#: Every predictor on the default window.
+SPEC_GRID_SPECS = (
+    "spec:50:none",
+    "spec:50:always",
+    "spec:50:btfn",
+    "spec:50:1bit",
+    "spec:50:2bit",
+    "spec:50:perfect",
+    "spec:50:wrong",
+)
+
+#: Option variants: recovery penalty, value prediction, width, bus and
+#: window extremes, and combinations thereof.
+SPEC_VARIANT_SPECS = (
+    "spec:1:2bit",
+    "spec:8:2bit",
+    "spec:50:2bit:rp=8",
+    "spec:50:2bit:vp=last",
+    "spec:50:2bit:vp=stride:vpp=6",
+    "spec:50:2bit:units=2:bus=1bus",
+    "spec:50:wrong:rp=5:vp=last",
+)
+
+
+def _assert_spec_matches_reference(simulator, trace, config, context):
+    """One spec machine, one trace: cycles, rate, detail, schedule and
+    telemetry all bit-identical between the compiled loop and the
+    reference."""
+    fast = simulator.simulate(trace, config)
+    reference = simulator.reference_simulate(trace, config)
+    assert fast.cycles == reference.cycles, context
+    assert fast.issue_rate == reference.issue_rate, context
+    assert fast.instructions == reference.instructions, context
+    assert strip_telemetry(fast.detail) == dict(reference.detail or {}), (
+        context
+    )
+
+    schedule = []
+    recorded = fastpath.simulate_spec_fast(simulator, trace, config, schedule)
+    assert recorded.cycles == fast.cycles, context
+    collector = EventCollector()
+    simulator.simulate_observed(trace, config, collector)
+    issues = collector.cycles_by_seq(EventKind.ISSUE)
+    completes = collector.cycles_by_seq(EventKind.COMPLETE)
+    # Branches never commit; their recorded resolution is the cycle
+    # correct-path issue resumes: issue + the FLUSH window when
+    # mispredicted, issue + 1 under a predictor, issue + branch latency
+    # without one.  (The generic helper above assumes the RUU's
+    # resolve-at-issue policy, which does not apply here.)
+    flush_windows = {
+        event.seq: event.cycles
+        for event in collector.of_kind(EventKind.FLUSH)
+        if event.reason == "MISPREDICT"
+    }
+    expected = []
+    for entry in trace.entries:
+        issue = issues[entry.seq]
+        if entry.seq in completes:
+            resolution = completes[entry.seq]
+        elif entry.seq in flush_windows:
+            resolution = issue + flush_windows[entry.seq]
+        elif simulator.predictor_factory is None:
+            resolution = issue + config.branch_latency
+        else:
+            resolution = issue + 1
+        expected.append((issue, resolution))
+    assert schedule == expected, context
+
+    # Fast-loop telemetry == the reference event stream, folded.
+    assert SimTelemetry.from_detail(fast.detail) == telemetry_from_events(
+        collector.events,
+        trace=trace,
+        cycles=reference.cycles,
+        family="spec",
+        issue_units=simulator.issue_units,
+    ), context
+
+
+@pytest.mark.parametrize("spec", SPEC_GRID_SPECS)
+def test_spec_grid_matches_reference(spec):
+    """300 fuzzed traces per predictor: the full grid, tier-1."""
+    simulator = build_simulator(spec)
+    for seed, trace in enumerate(TRACES):
+        config = CONFIGS[seed % len(CONFIGS)]
+        _assert_spec_matches_reference(
+            simulator, trace, config, (spec, trace.name)
+        )
+
+
+@pytest.mark.parametrize("spec", SPEC_VARIANT_SPECS)
+def test_spec_variants_match_reference(spec):
+    """Fast subset of the option variants (full matrix nightly)."""
+    simulator = build_simulator(spec)
+    for seed in range(0, N_SEEDS, 5):
+        trace = TRACES[seed]
+        config = CONFIGS[seed % len(CONFIGS)]
+        _assert_spec_matches_reference(
+            simulator, trace, config, (spec, trace.name)
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", SPEC_VARIANT_SPECS)
+def test_spec_variants_match_reference_full_matrix(spec):
+    """Nightly: every option variant over the whole pool x all configs."""
+    simulator = build_simulator(spec)
+    for trace in TRACES:
+        for config in CONFIGS:
+            _assert_spec_matches_reference(
+                simulator, trace, config, (spec, trace.name, config.name)
+            )
+
+
+@pytest.mark.sources
+@pytest.mark.parametrize("spec", SPEC_GRID_SPECS)
+def test_spec_families_match_reference(spec):
+    """The registry workload families through the spec grid."""
+    simulator = build_simulator(spec)
+    for trace in _family_traces_spec(range(2)):
+        config = CONFIGS[len(trace) % len(CONFIGS)]
+        _assert_spec_matches_reference(
+            simulator, trace, config, (spec, trace.name)
+        )
+
+
+def _family_traces_spec(seeds):
+    from repro.trace.sources import trace_source
+
+    return [
+        trace_source(f"{template}:seed={seed}")
+        for template in (
+            "branchy:n=96",
+            "pointer:n=96",
+            "fuzz:branchy",
+            "synthetic:deep:n=10",
+        )
+        for seed in seeds
+    ]
+
+
+def test_spec_machine_takes_fast_path_with_predictor():
+    """Unlike the RUU, a spec machine with a predictor stays fast (the
+    compiled loop replays the deterministic predictor itself)."""
+    simulator = build_simulator("spec:50:2bit")
+    assert isinstance(simulator, SpecMachine)
+    assert simulator.predictor_factory is not None
+    fastpath.reset_stats()
+    simulator.simulate(TRACES[6], M11BR5)
+    assert fastpath.stats()["fast_runs"] == 1
+
+
+# ----------------------------------------------------------------------
 # Registry-sourced workload families
 # ----------------------------------------------------------------------
 #
@@ -348,10 +514,13 @@ _HOOK_MACHINES = [
     lambda: InOrderMultiIssueMachine(4),
     lambda: OutOfOrderMultiIssueMachine(2),
     lambda: RUUMachine(2, 10),
+    lambda: build_simulator("spec:20:2bit"),
     TomasuloMachine,
     CDC6600Machine,
 ]
-_HOOK_IDS = ["scoreboard", "inorder", "ooo", "ruu", "tomasulo", "cdc6600"]
+_HOOK_IDS = [
+    "scoreboard", "inorder", "ooo", "ruu", "spec", "tomasulo", "cdc6600",
+]
 
 
 @pytest.mark.parametrize("make_machine", _HOOK_MACHINES, ids=_HOOK_IDS)

@@ -1,0 +1,101 @@
+"""Golden regression tests for the speculation limit study (Tables 9-10).
+
+``tests/data/golden_spec_tables.json`` pins every cell -- speedups over
+the ``ruu:4:50`` baseline and the prediction-accuracy columns -- from
+this repository's own seed run (``SMALL_SIZES``, ``workers=1``, no
+cache), bit-exactly, exactly like ``golden_tables.json`` does for
+Tables 1-8.  Regenerate after an intentional change with
+``PYTHONPATH=src python tests/data/regen_golden_spec_tables.py``.
+
+Table 9 (scalar, the fast one) runs in tier-1 along with the
+determinism guards; the full grid including Table 10 is ``slow``-marked
+for the nightly job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.api as api
+from repro.core import fastpath
+from repro.kernels import SMALL_SIZES
+
+DATA = Path(__file__).parent / "data"
+GOLDEN = json.loads((DATA / "golden_spec_tables.json").read_text())
+
+# The regen script owns the table list; importing it keeps this module
+# and the pinned JSON generated from one definition.
+_spec = importlib.util.spec_from_file_location(
+    "regen_golden_spec_tables", DATA / "regen_golden_spec_tables.py"
+)
+regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen)
+
+
+def _measured(table_id: str, **run_kwargs):
+    defaults = dict(sizes=dict(SMALL_SIZES), workers=1, cache=False)
+    defaults.update(run_kwargs)
+    run = api.run_table(table_id, **defaults)
+    return {row: dict(values) for row, values in run.table.rows}
+
+
+def _assert_matches_golden(table_id: str, **run_kwargs) -> None:
+    expected = GOLDEN[table_id]
+    measured = _measured(table_id, **run_kwargs)
+    assert set(measured) == set(expected), table_id
+    mismatches = []
+    for row, columns in expected.items():
+        assert set(measured[row]) == set(columns), (table_id, row)
+        for column, value in columns.items():
+            got = measured[row][column]
+            if got != value:
+                mismatches.append(
+                    f"{table_id}[{row}][{column}]: got {got!r}, "
+                    f"pinned {value!r}"
+                )
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_golden_file_covers_the_study():
+    assert set(GOLDEN) == set(regen.TABLE_IDS) == {"table9", "table10"}
+
+
+def test_table9_matches_seed_run():
+    _assert_matches_golden("table9")
+
+
+@pytest.mark.slow
+def test_table10_matches_seed_run():
+    _assert_matches_golden("table10")
+
+
+def test_table9_matches_with_fastpath_disabled():
+    """The reference loops must reproduce the pinned cells too: the
+    compiled spec loop and ``reference_simulate`` agree at the
+    table level, speedups and accuracy columns included."""
+    previous = fastpath.set_enabled(False)
+    try:
+        _assert_matches_golden("table9")
+    finally:
+        fastpath.set_enabled(previous)
+
+
+def test_table9_deterministic_under_workers(tmp_path, monkeypatch):
+    """``--workers 4``, cold cache then warm cache, both bit-identical
+    to the pinned serial run (the warm pass exercises the detail-backed
+    accuracy-metric decode on the cached-record path)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    _assert_matches_golden("table9", workers=4, cache=True)
+    _assert_matches_golden("table9", workers=4, cache=True)
+
+
+@pytest.mark.slow
+def test_full_grid_deterministic_under_workers(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    for table_id in regen.TABLE_IDS:
+        _assert_matches_golden(table_id, workers=4, cache=True)
+        _assert_matches_golden(table_id, workers=4, cache=True)

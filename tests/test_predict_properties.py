@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the branch-predictor family.
+
+Every predictor is driven through the machine protocol --
+``predict_outcome`` then ``record`` then ``update``, per dynamic branch
+-- over random branch streams, and its running ``stats`` must agree with
+an *independent* pure-function replay of the predictor's documented
+rule.  A second layer closes the loop with the speculative machine
+itself: the ``prediction_accuracy`` it reports for a fuzzed trace must
+equal a from-scratch replay over that trace's conditional branches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import M11BR5
+from repro.core.registry import build_simulator
+from repro.predict import (
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+    OneBitPredictor,
+    OraclePredictor,
+    TwoBitPredictor,
+)
+from repro.verify.fuzz import FuzzSpec, fuzz_trace
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+#: A dynamic branch stream: (static_index, backward, taken) per branch.
+#: Few static indices so per-branch state actually retrains.
+branch_streams = st.lists(
+    st.tuples(st.integers(0, 5), st.booleans(), st.booleans()),
+    max_size=80,
+)
+
+
+def _drive(predictor, stream):
+    """Run the machine protocol over *stream*; return the predictions."""
+    predictions = []
+    for static_index, backward, taken in stream:
+        prediction = predictor.predict_outcome(static_index, backward, taken)
+        predictor.record(prediction, taken)
+        predictor.update(static_index, taken)
+        predictions.append(prediction)
+    return predictions
+
+
+# Independent reference models: one pure function per documented rule.
+# Deliberately NOT written in terms of the predictor classes.
+
+def _ref_always(stream):
+    return [True for _ in stream]
+
+
+def _ref_btfn(stream):
+    return [backward for _, backward, _ in stream]
+
+
+def _ref_one_bit(stream):
+    last = {}
+    predictions = []
+    for static_index, backward, taken in stream:
+        predictions.append(last.get(static_index, backward))
+        last[static_index] = taken
+    return predictions
+
+
+def _ref_two_bit(stream):
+    counters = {}
+    predictions = []
+    for static_index, backward, taken in stream:
+        predictions.append(
+            counters.get(static_index, 2 if backward else 1) >= 2
+        )
+        counter = counters.get(static_index, 2 if taken else 1)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        counters[static_index] = counter
+    return predictions
+
+
+def _ref_perfect(stream):
+    return [taken for _, _, taken in stream]
+
+
+def _ref_wrong(stream):
+    return [not taken for _, _, taken in stream]
+
+
+PREDICTOR_MODELS = (
+    ("always", AlwaysTakenPredictor, _ref_always),
+    ("btfn", BackwardTakenPredictor, _ref_btfn),
+    ("1bit", OneBitPredictor, _ref_one_bit),
+    ("2bit", TwoBitPredictor, _ref_two_bit),
+    ("perfect", lambda: OraclePredictor(True), _ref_perfect),
+    ("wrong", lambda: OraclePredictor(False), _ref_wrong),
+)
+
+
+# ----------------------------------------------------------------------
+# stream-level properties
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "factory,reference",
+    [(f, r) for _, f, r in PREDICTOR_MODELS],
+    ids=[name for name, _, _ in PREDICTOR_MODELS],
+)
+@given(stream=branch_streams)
+def test_stats_match_reference_replay(factory, reference, stream):
+    predictor = factory()
+    predictions = _drive(predictor, stream)
+    expected = reference(stream)
+    assert predictions == expected
+    correct = sum(
+        p == taken for p, (_, _, taken) in zip(expected, stream)
+    )
+    assert predictor.stats.correct == correct
+    assert predictor.stats.incorrect == len(stream) - correct
+    assert predictor.stats.predictions == len(stream)
+    if stream:
+        assert math.isclose(
+            predictor.stats.accuracy, correct / len(stream)
+        )
+    else:
+        assert predictor.stats.accuracy == 0.0
+
+
+@given(stream=branch_streams)
+def test_oracles_bracket_every_predictor(stream):
+    """On any stream the perfect oracle scores everything, the wrong
+    oracle nothing, and every real predictor lands in between."""
+    perfect = OraclePredictor(True)
+    wrong = OraclePredictor(False)
+    _drive(perfect, stream)
+    _drive(wrong, stream)
+    assert perfect.stats.correct == len(stream)
+    assert wrong.stats.correct == 0
+    for _, factory, _ in PREDICTOR_MODELS[:4]:  # the real predictors
+        predictor = factory()
+        _drive(predictor, stream)
+        assert 0 <= predictor.stats.correct <= len(stream)
+
+
+@given(stream=branch_streams)
+def test_btfn_is_the_static_heuristic(stream):
+    """BTFN is stateless: correct exactly when direction == outcome,
+    independent of history and static index."""
+    predictor = BackwardTakenPredictor()
+    _drive(predictor, stream)
+    assert predictor.stats.correct == sum(
+        backward == taken for _, backward, taken in stream
+    )
+
+
+@given(
+    outcomes=st.lists(st.booleans(), max_size=60),
+    backward=st.booleans(),
+)
+def test_one_bit_mispredicts_exactly_on_transitions(outcomes, backward):
+    """For a single static branch the 1-bit predictor mispredicts
+    exactly at outcome transitions (plus a cold miss when the first
+    outcome defies the BTFN default) -- which also proves
+    predict-before-update ordering: an update-first bug would score
+    every prediction as correct."""
+    predictor = OneBitPredictor()
+    stream = [(0, backward, taken) for taken in outcomes]
+    _drive(predictor, stream)
+    expected_misses = sum(
+        1 for prev, cur in zip(outcomes, outcomes[1:]) if prev != cur
+    )
+    if outcomes and outcomes[0] != backward:
+        expected_misses += 1
+    assert predictor.stats.incorrect == expected_misses
+
+
+@given(
+    static_index=st.integers(0, 5),
+    backward=st.booleans(),
+    repeats=st.integers(1, 30),
+)
+def test_two_bit_saturates_on_monotone_streams(static_index, backward, repeats):
+    """A steadily-taken branch costs the 2-bit predictor at most one
+    cold miss; once saturated a single flip cannot cause a second miss
+    on the next taken instance (hysteresis)."""
+    predictor = TwoBitPredictor()
+    stream = [(static_index, backward, True)] * repeats
+    _drive(predictor, stream)
+    assert predictor.stats.incorrect <= 1
+    # One not-taken blip, then taken again: still predicted taken.
+    predictor.update(static_index, False)
+    assert predictor.predict(static_index, backward) is True
+
+
+# ----------------------------------------------------------------------
+# machine-level: reported accuracy == replayed count
+# ----------------------------------------------------------------------
+
+_BRANCHY_SPEC = FuzzSpec(branch_fraction=0.30, taken_fraction=0.55)
+
+
+def _replayed_accuracy(factory, trace):
+    """Replay *factory*'s predictor over the trace's conditional
+    branches in program order -- the order the speculative machine
+    consults it in."""
+    predictor = factory()
+    for entry in trace.entries:
+        if not entry.instruction.is_conditional_branch:
+            continue
+        prediction = predictor.predict_outcome(
+            entry.static_index, bool(entry.backward), bool(entry.taken)
+        )
+        predictor.record(prediction, bool(entry.taken))
+        predictor.update(entry.static_index, bool(entry.taken))
+    return predictor.stats.accuracy
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [(n, f) for n, f, _ in PREDICTOR_MODELS],
+    ids=[name for name, _, _ in PREDICTOR_MODELS],
+)
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_machine_accuracy_matches_replayed_count(name, factory, seed):
+    """The speculative machine consults its predictor exactly once per
+    dynamic conditional branch, in program order: the accuracy it
+    reports must equal an independent replay, bit-exact."""
+    trace = fuzz_trace(seed, _BRANCHY_SPEC)
+    simulator = build_simulator(f"spec:50:{name}")
+    result = simulator.simulate(trace, M11BR5)
+    assert result.detail["prediction_accuracy"] == _replayed_accuracy(
+        factory, trace
+    )
