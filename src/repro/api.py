@@ -44,6 +44,7 @@ from .bench import (
 )
 from .core import SimulationResult, build_simulator, config_by_name
 from .core import fastpath
+from .explore import ExploreRun, SpaceError, explore as _explore
 from .core.registry import (
     ParsedSpec,
     UnknownSpecError,
@@ -95,6 +96,7 @@ Sizes = Optional[Mapping[int, int]]
 __all__ = [
     "BenchOptions",
     "BenchReport",
+    "ExploreRun",
     "MachineInfo",
     "ParsedSpec",
     "ParsedTraceSpec",
@@ -102,6 +104,7 @@ __all__ = [
     "ProgressEvent",
     "RunManifest",
     "SourceStats",
+    "SpaceError",
     "SweepRun",
     "TableRun",
     "TraceImportError",
@@ -114,6 +117,7 @@ __all__ = [
     "capture_source",
     "compare_bench",
     "disassemble",
+    "explore",
     "find_run",
     "kernel_stats",
     "limits",
@@ -502,6 +506,57 @@ def capture_source(source: str, out: str) -> int:
 
 
 # ----------------------------------------------------------------------
+# Design-space exploration
+# ----------------------------------------------------------------------
+
+def explore(
+    space: str,
+    sources: Sequence[str],
+    *,
+    config: str = "M11BR5",
+    budget: Optional[int] = None,
+    audit: int = 16,
+    seed: int = 0,
+    slack: float = 0.15,
+    band_per_segment: int = 4,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    observe: bool = False,
+    backend: str = "auto",
+    exhaustive: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> ExploreRun:
+    """Screen a design space analytically, then simulate only its frontier.
+
+    *space* is a declarative grid spec (``family=ruu;width=1..8;...``,
+    see :mod:`repro.explore.space`); *sources* are scalar trace specs.
+    The analytic model scores every candidate in one vectorised pass,
+    the (cost, rate) Pareto frontier plus a bounded verification band
+    and a seeded audit sample go through exact simulation, and the
+    returned :class:`ExploreRun` reports predicted-vs-simulated error.
+    With ``exhaustive=True`` every candidate is simulated as well and
+    frontier recall is measured (small spaces only).
+    """
+    store = DiskCache() if cache else None
+    return _explore(
+        space,
+        sources,
+        config=config,
+        budget=budget,
+        audit=audit,
+        seed=seed,
+        slack=slack,
+        band_per_segment=band_per_segment,
+        workers=workers,
+        cache=store,
+        observe=observe,
+        backend=backend,
+        exhaustive=exhaustive,
+        progress=progress,
+    )
+
+
+# ----------------------------------------------------------------------
 # Differential verification
 # ----------------------------------------------------------------------
 
@@ -581,6 +636,7 @@ def bench_options(
     rounds: Optional[int] = None,
     machines: Optional[Sequence[str]] = None,
     no_engine: bool = False,
+    no_explore: bool = False,
     backend: str = "auto",
 ) -> BenchOptions:
     """Suite options: the quick/full preset plus explicit overrides."""
@@ -591,6 +647,7 @@ def bench_options(
         rounds=rounds,
         machines=tuple(machines) if machines is not None else None,
         no_engine=no_engine,
+        no_explore=no_explore,
         backend=backend,
     )
 

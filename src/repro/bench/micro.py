@@ -86,6 +86,10 @@ class BenchOptions:
     #: Fast-path backend the engine benchmarks run through ("auto"
     #: resolves to batch); the sweep suite always measures both.
     backend: str = "auto"
+    explore: bool = True
+    #: Instructions per explorer workload trace: the e2e exhaustive pass
+    #: costs O(grid x this), so the quick preset shortens it.
+    explore_trace_length: int = 300
 
 
 DEFAULT_OPTIONS = BenchOptions()
@@ -93,7 +97,8 @@ DEFAULT_OPTIONS = BenchOptions()
 #: The CI smoke configuration: small enough to finish in well under 30
 #: seconds, large enough that the fast-path speedup is unambiguous.
 QUICK_OPTIONS = BenchOptions(
-    quick=True, seeds=12, trace_length=256, rounds=3, tables=("table1",)
+    quick=True, seeds=12, trace_length=256, rounds=3, tables=("table1",),
+    explore_trace_length=120,
 )
 
 
@@ -225,6 +230,81 @@ def _bench_sweep(options: BenchOptions, report: BenchReport, log: Log):
         )
 
 
+#: Screen-throughput space: large enough (130,816 candidates) that the
+#: vectorised pass dominates any per-call overhead.
+SCREEN_SPACE = "family=ruu;width=1..32;window=2..512;bus=nbus,1bus;fu=1..4"
+
+#: End-to-end space: 2,048 RUU candidates, big enough that exhaustive
+#: simulation visibly dwarfs the screened run.
+E2E_SPACE = "family=ruu;width=1..8;window=2..128:2;bus=nbus,1bus;fu=1,2"
+
+
+def _bench_explore(options: BenchOptions, report: BenchReport, log: Log):
+    """``explore.screen.rate`` + ``explore.e2e.{explore,exhaustive,speedup}``.
+
+    The screen benchmark scores :data:`SCREEN_SPACE` analytically (min
+    over the usual interleaved rounds).  The end-to-end benchmark runs
+    one budgeted explorer pass over :data:`E2E_SPACE` and one exhaustive
+    sweep of the same grid through the batch fast path -- a single pass
+    each, because the exhaustive side costs seconds by design and its
+    duration is what the speedup divides by.
+    """
+    from ..explore import explore as explore_run
+    from ..explore.model import build_anchors
+    from ..explore.screen import screen_space
+    from ..explore.space import expand_space, parse_space
+    from ..harness.engine import run_source_sweep
+
+    n = options.explore_trace_length
+    sources = [f"branchy:seed=3:n={n}", f"pointer:seed=5:n={n}"]
+    config = options.config
+
+    space = parse_space(SCREEN_SPACE, default_config=config)
+    anchors = [
+        build_anchors(source, config_by_name(config)) for source in sources
+    ]
+    screen_times: List[float] = []
+    for _ in range(options.rounds):
+        screen_times.append(
+            screen_space(space, anchors, cache=None).seconds
+        )
+    rate = space.size / min(screen_times)
+    report.add("explore.screen.rate", rate, "configs/s")
+    if log:
+        log(f"  explore.screen.rate {rate:>14,.0f} configs/s "
+            f"({space.size} candidates)")
+
+    explore_times: List[float] = []
+    simulated = 0
+    for _ in range(options.rounds):
+        start = time.perf_counter()
+        run = explore_run(
+            E2E_SPACE, sources, config=config, budget=20, audit=4,
+            workers=1, cache=None, observe=False,
+        )
+        explore_times.append(time.perf_counter() - start)
+        simulated = run.simulated_count
+    grid = expand_space(parse_space(E2E_SPACE, default_config=config))
+    specs = [grid.machine_spec(i) for i in range(grid.n)]
+    start = time.perf_counter()
+    run_source_sweep(specs, sources, config=config, workers=1, cache=None)
+    exhaustive = time.perf_counter() - start
+
+    explored = min(explore_times)
+    report.add("explore.e2e.explore", explored, "s", higher_is_better=False)
+    report.add(
+        "explore.e2e.exhaustive", exhaustive, "s", higher_is_better=False
+    )
+    report.add("explore.e2e.speedup", exhaustive / explored, "x")
+    if log:
+        log(
+            f"  explore.e2e      explore {explored * 1e3:>8.1f} ms "
+            f"({simulated} of {grid.n} simulated)  "
+            f"exhaustive {exhaustive * 1e3:>8.1f} ms  "
+            f"speedup {exhaustive / explored:.1f}x"
+        )
+
+
 def _bench_tables(options: BenchOptions, report: BenchReport, log: Log):
     sizes = dict(SMALL_SIZES)
     for table_id in options.tables:
@@ -299,6 +379,8 @@ def run_suite(
             "config": options.config,
             "tables": list(options.tables),
             "backend": options.backend,
+            "explore": options.explore,
+            "explore_trace_length": options.explore_trace_length,
         },
     )
     previous = fastpath.set_enabled(True)
@@ -309,6 +391,8 @@ def run_suite(
                 f"min of {options.rounds} rounds")
         _bench_machines(options, report, log)
         _bench_sweep(options, report, log)
+        if options.explore:
+            _bench_explore(options, report, log)
         if options.tables:
             _bench_tables(options, report, log)
         if options.engine and options.tables:
@@ -326,6 +410,7 @@ def options_from(
     rounds: Optional[int] = None,
     machines: Optional[Tuple[str, ...]] = None,
     no_engine: bool = False,
+    no_explore: bool = False,
     backend: str = "auto",
 ) -> BenchOptions:
     """The CLI's option builder: quick preset plus explicit overrides."""
@@ -341,6 +426,8 @@ def options_from(
         overrides["machines"] = tuple(machines)
     if no_engine:
         overrides["engine"] = False
+    if no_explore:
+        overrides["explore"] = False
     if backend != "auto":
         overrides["backend"] = backend
     return replace(options, **overrides) if overrides else options

@@ -289,6 +289,93 @@ def build_parser() -> argparse.ArgumentParser:
     limits = sub.add_parser("limits", help="dataflow/resource/serial limits")
     _add_kernel_arguments(limits, source=True)
     limits.add_argument("--config", default="M11BR5")
+    limits.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "json emits both pure and serial limit payloads (makespans, "
+            "per-unit busy spans) for scripting"
+        ),
+    )
+
+    explore = sub.add_parser(
+        "explore",
+        help="design-space explorer: analytic screen + frontier simulation",
+    )
+    explore.add_argument(
+        "--space",
+        required=True,
+        metavar="SPEC",
+        help=(
+            "design-space grid, e.g. "
+            "'family=ruu;width=1..8;window=8..64:8;bus=nbus,1bus;fu=1,2'"
+        ),
+    )
+    explore.add_argument(
+        "--sources",
+        nargs="+",
+        required=True,
+        metavar="SPEC",
+        help="scalar trace sources to score against (branchy:seed=3 ...)",
+    )
+    explore.add_argument("--config", default="M11BR5")
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cap on exactly simulated candidates (frontier subsampled)",
+    )
+    explore.add_argument(
+        "--audit",
+        type=int,
+        default=16,
+        help="seeded off-frontier sample size for error reporting",
+    )
+    explore.add_argument("--seed", type=int, default=0,
+                         help="audit-sample seed")
+    explore.add_argument(
+        "--slack",
+        type=float,
+        default=0.15,
+        help="verification-band relative rate slack (default 0.15)",
+    )
+    explore.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help=(
+            "also simulate every candidate and report frontier recall "
+            "(small spaces only)"
+        ),
+    )
+    explore.add_argument("--workers", type=int, default=None)
+    explore.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the screen/result caches",
+    )
+    explore.add_argument(
+        "--no-observe",
+        action="store_true",
+        help="skip writing a run manifest",
+    )
+    explore.add_argument(
+        "--backend",
+        choices=("auto", "python", "batch"),
+        default="auto",
+        help="fast-path backend for the exact stage",
+    )
+    explore.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="json emits the full machine-readable run payload",
+    )
+    explore.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-source progress lines while simulating",
+    )
 
     stalls = sub.add_parser("stalls", help="stall attribution")
     _add_kernel_arguments(stalls)
@@ -429,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-engine",
         action="store_true",
         help="skip the engine cold/warm cache benchmarks",
+    )
+    bench.add_argument(
+        "--no-explore",
+        action="store_true",
+        help="skip the design-space explorer benchmarks",
     )
     bench.add_argument(
         "--backend",
@@ -588,6 +680,16 @@ def _render_run_detail(manifest, *, top: int = 10) -> str:
             backend_parts.append(f"{backend}: {detail}")
     if backend_parts:
         lines.append("  fast-path backends: " + "; ".join(backend_parts))
+    ir_counts = {
+        key: manifest.counter(f"fastpath.ir_stats.{key}")
+        for key in ("hits", "misses", "stores")
+    }
+    if any(ir_counts.values()):
+        lines.append(
+            f"  ir-stats cache: {ir_counts['hits']:.0f} hit / "
+            f"{ir_counts['misses']:.0f} miss "
+            f"({ir_counts['stores']:.0f} stored)"
+        )
     utilization = manifest.worker_utilization
     if utilization:
         shares = ", ".join(
@@ -813,6 +915,7 @@ def run_bench(args) -> int:
             rounds=args.rounds,
             machines=args.machines,
             no_engine=args.no_engine,
+            no_explore=args.no_explore,
             backend=args.backend,
         )
     except TypeError as exc:  # pragma: no cover - argparse guards types
@@ -867,6 +970,30 @@ def run_bench(args) -> int:
     return code
 
 
+def run_explore(args) -> int:
+    callback = _progress_callback("human") if args.progress else None
+    run = api.explore(
+        args.space,
+        args.sources,
+        config=args.config,
+        budget=args.budget,
+        audit=args.audit,
+        seed=args.seed,
+        slack=args.slack,
+        workers=args.workers,
+        cache=not args.no_cache,
+        observe=not args.no_observe,
+        backend=args.backend,
+        exhaustive=args.exhaustive,
+        progress=callback,
+    )
+    if args.format == "json":
+        print(json.dumps(run.to_payload(), indent=1, sort_keys=True))
+    else:
+        print(run.render_report())
+    return 0
+
+
 #: Exit code to use if stdout breaks mid-print: subcommands record their
 #: verdict here as soon as it is known, before rendering any output.
 _pending_exit = 0
@@ -887,6 +1014,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         api.UnknownSpecError,
         api.UnknownTraceSourceError,
         api.TraceImportError,
+        api.SpaceError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -928,6 +1056,9 @@ def _dispatch(args) -> int:
 
     if args.command == "bench":
         return run_bench(args)
+
+    if args.command == "explore":
+        return run_explore(args)
 
     if args.command == "replay":
         print(api.replay(args.trace, args.machine, config=args.config))
@@ -986,6 +1117,13 @@ def _dispatch(args) -> int:
             serial = api.limits(
                 args.kernel, config=args.config, serial=True, **kwargs
             )
+        if args.format == "json":
+            payload = {
+                "pure": pure.to_payload(),
+                "serial": serial.to_payload(),
+            }
+            print(json.dumps(payload, indent=1, sort_keys=True))
+            return 0
         print(f"{pure.trace_name} on {pure.config.name}:")
         print(f"  pseudo-dataflow limit  {pure.pseudo_dataflow_rate:.3f}")
         print(f"  resource limit         {pure.resource_rate:.3f} "

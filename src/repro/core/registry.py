@@ -68,7 +68,7 @@ _FIXED: Dict[str, Callable[[], Simulator]] = {
 SPEC_TEMPLATES = (
     "inorder:<units>[:<bus>]",
     "ooo:<units>[:<bus>]",
-    "ruu:<units>:<ruu-size>[:<bus>]",
+    "ruu:<units>:<ruu-size>[:<bus>][:fu=<copies>]",
     "spec[:<window>][:<predictor>][:<key>=<value>...]",
     "cache:<words>[:<hit>:<miss>]",
     "banked:<banks>[:<busy>]",
@@ -85,7 +85,7 @@ def available_specs() -> str:
     return (
         "simple | serialmemory | nonsegmented | cray | cdc6600 | tomasulo | "
         "inorder:<units>[:<bus>] | ooo:<units>[:<bus>] | "
-        "ruu:<units>:<ruu-size>[:<bus>] | "
+        "ruu:<units>:<ruu-size>[:<bus>][:fu=<copies>] | "
         "spec[:<window>][:<predictor>][:<key>=<value>...] | "
         "cache:<words>[:<hit>:<miss>] | banked:<banks>[:<busy>]"
         "  (bus: nbus, 1bus, xbar; spec predictors: none, always, btfn, "
@@ -161,8 +161,28 @@ def _build_simulator(spec: str) -> Simulator:
             raise ValueError("'ruu' needs issue units and an RUU size")
         units = int(parts[1])
         size = int(parts[2])
-        bus = _parse_bus(parts[3] if len(parts) > 3 else "", BusKind.N_BUS)
-        return RUUMachine(units, size, bus)
+        bus = BusKind.N_BUS
+        fu_copies = 1
+        saw_bus = saw_fu = False
+        # Trailing tokens: at most one bus name and one fu=<copies>
+        # duplication factor, in either order.
+        for token in parts[3:]:
+            if token.startswith("fu="):
+                if saw_fu:
+                    raise ValueError("duplicate fu= parameter")
+                saw_fu = True
+                try:
+                    fu_copies = int(token[3:])
+                except ValueError:
+                    raise ValueError(
+                        f"fu= needs an integer copy count, got {token!r}"
+                    ) from None
+            else:
+                if saw_bus:
+                    raise ValueError(f"unexpected parameter {token!r}")
+                saw_bus = True
+                bus = _parse_bus(token, BusKind.N_BUS)
+        return RUUMachine(units, size, bus, fu_copies=fu_copies)
 
     if head == "spec":
         from .spec import SpecMachine, parse_spec_params

@@ -1,0 +1,350 @@
+"""Declarative design spaces over the spec-grammar knobs.
+
+A space spec is a ``;``-separated list of ``key=values`` clauses::
+
+    family=inorder,ooo,ruu;width=1..8;window=8..64:8;bus=nbus,1bus;fu=1,2
+
+Values are comma lists; integer axes also accept ``a..b[:step]`` ranges
+(inclusive).  Axes:
+
+``family``
+    Issue disciplines to enumerate: ``inorder``, ``ooo``, ``ruu``.
+``width``
+    Issue-unit counts (every family).
+``window``
+    RUU sizes.  Applies to the ``ruu`` family only; other families
+    ignore it (they have no instruction window knob).
+``bus``
+    Result-bus structures: ``nbus``, ``1bus``, ``xbar``.  The RUU
+    machine rejects ``xbar`` by design, so ruu candidates silently skip
+    it.
+``fu``
+    Functional-unit duplication factors (``ruu:<u>:<r>:fu=<k>``).
+    Applies to the ``ruu`` family only.
+``config``
+    Machine-configuration name (``M11BR5`` etc.); exactly one.
+
+The cross product is materialised as a :class:`CandidateGrid` of
+parallel NumPy arrays -- the representation the vectorised screen
+(:mod:`repro.explore.screen`) scores in one shot -- with spec strings
+generated lazily for only the candidates that go on to exact
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import config_by_name
+
+__all__ = [
+    "CandidateGrid",
+    "DesignSpace",
+    "FAMILIES",
+    "BUSES",
+    "SpaceError",
+    "expand_space",
+    "parse_space",
+]
+
+#: Enumerable issue disciplines, in candidate-grid index order.
+FAMILIES: Tuple[str, ...] = ("inorder", "ooo", "ruu")
+
+#: Result-bus structures, in candidate-grid index order.
+BUSES: Tuple[str, ...] = ("nbus", "1bus", "xbar")
+
+#: Cost-model weights (documented in docs/explore.md): a dimensionless
+#: hardware budget combining decoder complexity, window storage, unit
+#: duplication and result-bus wiring.
+FAMILY_BASE_COST = {"inorder": 2, "ooo": 6, "ruu": 10}
+WIDTH_COST = 4
+FU_COPY_COST = 8
+BUS_COST = {"nbus": 2, "1bus": 0, "xbar": 3}  # per issue unit; 1bus flat
+ONE_BUS_COST = 2
+
+_MAX_CANDIDATES = 4_000_000
+
+
+class SpaceError(ValueError):
+    """An unrecognised or malformed design-space specification.
+
+    Mirrors :class:`~repro.core.registry.UnknownSpecError`: carries the
+    offending spec and the reason so the CLI can print an actionable
+    message and exit 2.
+    """
+
+    def __init__(self, spec: str, reason: str) -> None:
+        self.spec = spec
+        self.reason = reason
+        super().__init__(f"bad space spec {spec!r}: {reason}")
+
+
+def _parse_int_values(spec: str, key: str, text: str) -> Tuple[int, ...]:
+    values: List[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if ".." in token:
+            lo_text, _, rest = token.partition("..")
+            hi_text, _, step_text = rest.partition(":")
+            try:
+                lo = int(lo_text)
+                hi = int(hi_text)
+                step = int(step_text) if step_text else 1
+            except ValueError:
+                raise SpaceError(
+                    spec, f"{key}: bad range {token!r} (want a..b[:step])"
+                ) from None
+            if step < 1:
+                raise SpaceError(spec, f"{key}: step must be >= 1")
+            if hi < lo:
+                raise SpaceError(spec, f"{key}: empty range {token!r}")
+            values.extend(range(lo, hi + 1, step))
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                raise SpaceError(
+                    spec, f"{key}: bad integer {token!r}"
+                ) from None
+    if not values:
+        raise SpaceError(spec, f"{key}: no values")
+    if min(values) < 1:
+        raise SpaceError(spec, f"{key}: values must be >= 1")
+    return tuple(sorted(set(values)))
+
+
+def _parse_name_values(
+    spec: str, key: str, text: str, valid: Tuple[str, ...]
+) -> Tuple[str, ...]:
+    values = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if token not in valid:
+            raise SpaceError(
+                spec, f"{key}: unknown value {token!r}; accepted: {valid}"
+            )
+        if token not in values:
+            values.append(token)
+    if not values:
+        raise SpaceError(spec, f"{key}: no values")
+    return tuple(sorted(values))
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A parsed space spec: the per-axis value sets.
+
+    ``window`` and ``fu`` apply to the ``ruu`` family only; other
+    families contribute one candidate per (width, bus) regardless.
+    """
+
+    families: Tuple[str, ...]
+    widths: Tuple[int, ...]
+    windows: Tuple[int, ...]
+    buses: Tuple[str, ...]
+    fu_counts: Tuple[int, ...]
+    config: str
+
+    @property
+    def size(self) -> int:
+        """Candidate count the space expands to."""
+        total = 0
+        for family in self.families:
+            if family == "ruu":
+                buses = [b for b in self.buses if b != "xbar"]
+                total += (
+                    len(self.widths) * len(self.windows)
+                    * len(buses) * len(self.fu_counts)
+                )
+            else:
+                total += len(self.widths) * len(self.buses)
+        return total
+
+    def to_key(self) -> Dict[str, Any]:
+        """The space's identity for content-addressed caching."""
+        return {
+            "families": list(self.families),
+            "widths": list(self.widths),
+            "windows": list(self.windows),
+            "buses": list(self.buses),
+            "fu": list(self.fu_counts),
+            "config": self.config,
+        }
+
+
+def parse_space(spec: str, *, default_config: str = "M11BR5") -> DesignSpace:
+    """Parse a space spec string (see module docstring).
+
+    Every malformed input raises :class:`SpaceError` (a ``ValueError``
+    subclass), never a bare ``KeyError``/``ValueError``.  A ``config=``
+    axis in the spec wins over *default_config*.
+    """
+    values: Dict[str, str] = {}
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, sep, text = clause.partition("=")
+        key = key.strip().lower()
+        if not sep:
+            raise SpaceError(spec, f"clause {clause!r} is not key=values")
+        if key in values:
+            raise SpaceError(spec, f"duplicate axis {key!r}")
+        if key not in (
+            "family", "width", "window", "bus", "fu", "config"
+        ):
+            raise SpaceError(spec, f"unknown axis {key!r}")
+        values[key] = text.strip()
+    if "family" not in values:
+        raise SpaceError(spec, "a family= axis is required")
+    families = _parse_name_values(spec, "family", values["family"], FAMILIES)
+    widths = (
+        _parse_int_values(spec, "width", values["width"])
+        if "width" in values else (1,)
+    )
+    windows = (
+        _parse_int_values(spec, "window", values["window"])
+        if "window" in values else (16,)
+    )
+    buses = (
+        _parse_name_values(spec, "bus", values["bus"], BUSES)
+        if "bus" in values else ("nbus",)
+    )
+    fu_counts = (
+        _parse_int_values(spec, "fu", values["fu"])
+        if "fu" in values else (1,)
+    )
+    config_name = values.get("config", default_config).upper()
+    try:
+        config_by_name(config_name)
+    except ValueError as exc:
+        raise SpaceError(spec, str(exc)) from None
+    if "ruu" in families and all(b == "xbar" for b in buses):
+        # Not fatal for mixed spaces; a pure-ruu space with only xbar
+        # would expand to nothing, which is.
+        if families == ("ruu",):
+            raise SpaceError(spec, "ruu rejects xbar; no candidates")
+    space = DesignSpace(
+        families=families,
+        widths=widths,
+        windows=windows,
+        buses=buses,
+        fu_counts=fu_counts,
+        config=config_name,
+    )
+    if space.size == 0:
+        raise SpaceError(spec, "space expands to no candidates")
+    if space.size > _MAX_CANDIDATES:
+        raise SpaceError(
+            spec,
+            f"space expands to {space.size} candidates "
+            f"(cap {_MAX_CANDIDATES})",
+        )
+    return space
+
+
+@dataclass(frozen=True)
+class CandidateGrid:
+    """The expanded space: one row per candidate, column per knob.
+
+    ``family`` and ``bus`` index :data:`FAMILIES` / :data:`BUSES`;
+    ``window`` and ``fu`` are 0/1 for families without those knobs.
+    """
+
+    family: np.ndarray  # int8 index into FAMILIES
+    width: np.ndarray   # int32
+    window: np.ndarray  # int32 (0 for families without a window)
+    bus: np.ndarray     # int8 index into BUSES
+    fu: np.ndarray      # int32 (1 for families without duplication)
+    config: str
+
+    @property
+    def n(self) -> int:
+        return len(self.family)
+
+    def machine_spec(self, index: int) -> str:
+        """The registry spec string of candidate *index*."""
+        family = FAMILIES[self.family[index]]
+        bus = BUSES[self.bus[index]]
+        width = int(self.width[index])
+        if family == "ruu":
+            spec = f"ruu:{width}:{int(self.window[index])}:{bus}"
+            copies = int(self.fu[index])
+            if copies > 1:
+                spec += f":fu={copies}"
+            return spec
+        return f"{family}:{width}:{bus}"
+
+    def costs(self) -> np.ndarray:
+        """The hardware-budget cost of every candidate (vectorised).
+
+        cost = family base + 4*width + window (ruu) + 8*(fu-1)
+             + bus wiring (nbus: 2/unit, xbar: 3/unit, 1bus: flat 2).
+        """
+        base = np.array(
+            [FAMILY_BASE_COST[f] for f in FAMILIES], dtype=np.int64
+        )[self.family]
+        bus_per_unit = np.array(
+            [BUS_COST[b] for b in BUSES], dtype=np.int64
+        )[self.bus]
+        cost = (
+            base
+            + WIDTH_COST * self.width.astype(np.int64)
+            + self.window.astype(np.int64)
+            + FU_COPY_COST * (self.fu.astype(np.int64) - 1)
+            + bus_per_unit * self.width.astype(np.int64)
+        )
+        cost[self.bus == BUSES.index("1bus")] += ONE_BUS_COST
+        return cost
+
+
+def expand_space(space: DesignSpace) -> CandidateGrid:
+    """Materialise the candidate grid of *space* (NumPy columns)."""
+    families: List[np.ndarray] = []
+    widths: List[np.ndarray] = []
+    windows: List[np.ndarray] = []
+    buses: List[np.ndarray] = []
+    fus: List[np.ndarray] = []
+    width_axis = np.array(space.widths, dtype=np.int32)
+    for family in space.families:
+        findex = FAMILIES.index(family)
+        if family == "ruu":
+            bus_axis = np.array(
+                [BUSES.index(b) for b in space.buses if b != "xbar"],
+                dtype=np.int8,
+            )
+            if len(bus_axis) == 0:
+                continue
+            window_axis = np.array(space.windows, dtype=np.int32)
+            fu_axis = np.array(space.fu_counts, dtype=np.int32)
+            grid = np.meshgrid(
+                width_axis, window_axis, bus_axis, fu_axis, indexing="ij"
+            )
+            count = grid[0].size
+            families.append(np.full(count, findex, dtype=np.int8))
+            widths.append(grid[0].ravel())
+            windows.append(grid[1].ravel())
+            buses.append(grid[2].ravel().astype(np.int8))
+            fus.append(grid[3].ravel())
+        else:
+            bus_axis = np.array(
+                [BUSES.index(b) for b in space.buses], dtype=np.int8
+            )
+            grid = np.meshgrid(width_axis, bus_axis, indexing="ij")
+            count = grid[0].size
+            families.append(np.full(count, findex, dtype=np.int8))
+            widths.append(grid[0].ravel())
+            windows.append(np.zeros(count, dtype=np.int32))
+            buses.append(grid[1].ravel().astype(np.int8))
+            fus.append(np.ones(count, dtype=np.int32))
+    return CandidateGrid(
+        family=np.concatenate(families),
+        width=np.concatenate(widths),
+        window=np.concatenate(windows),
+        bus=np.concatenate(buses),
+        fu=np.concatenate(fus),
+        config=space.config,
+    )

@@ -853,3 +853,239 @@ def run_plan(
         root = cache.root if cache is not None else default_cache_dir()
         write_manifest(manifest, root)
     return PlanRun(table=table, stats=stats, manifest=manifest)
+
+
+# ----------------------------------------------------------------------
+# Source sweeps: exact (machine spec x trace source) evaluation
+# ----------------------------------------------------------------------
+
+def source_cell_key(machine: str, source: str, config: str) -> Dict[str, Any]:
+    """Identity of one exact (machine, trace source, config) result.
+
+    The *source* must be a normalised trace-source spec
+    (:func:`repro.trace.sources.format_trace_spec`), so equivalent
+    spellings share an entry.
+    """
+    return {
+        "kind": "source-cell",
+        "machine": machine,
+        "source": source,
+        "config": config,
+        "schema": RESULT_SCHEMA_VERSION,
+    }
+
+
+@dataclass(frozen=True)
+class SourceOutcome:
+    """One exact simulation result from a source sweep (picklable)."""
+
+    source: str
+    machine: str
+    config: str
+    instructions: int
+    cycles: int
+    seconds: float
+    result_hit: bool
+    pid: int = 0
+
+    @property
+    def rate(self) -> float:
+        """Sustained issue rate, instructions per cycle."""
+        return self.instructions / self.cycles
+
+
+#: Per-process memo of resolved source traces (spec text -> Trace).
+_SOURCE_MEMO: Dict[str, Trace] = {}
+
+
+def _evaluate_source_group(
+    specs: Tuple[str, ...],
+    source: str,
+    config_name: str,
+    cache: Optional[DiskCache],
+    backend: str,
+) -> List[SourceOutcome]:
+    """Simulate every machine spec against one source as a sweep.
+
+    Per-spec cache lookups mirror :func:`evaluate_sweep`: hits skip the
+    replay, misses share one trace resolution and one
+    :func:`repro.core.fastpath.simulate_sweep` call.  ``file:`` sources
+    are never cached (the path's content can change).
+    """
+    start = time.perf_counter()
+    cacheable = cache is not None and not source.startswith("file:")
+    outcomes: List[SourceOutcome] = []
+    pending: List[str] = []
+    for spec in specs:
+        record = (
+            cache.load_result(source_cell_key(spec, source, config_name))
+            if cacheable
+            else None
+        )
+        if record is not None:
+            try:
+                outcomes.append(SourceOutcome(
+                    source=source,
+                    machine=spec,
+                    config=config_name,
+                    instructions=int(record["instructions"]),
+                    cycles=int(record["cycles"]),
+                    seconds=time.perf_counter() - start,
+                    result_hit=True,
+                    pid=os.getpid(),
+                ))
+                start = time.perf_counter()
+                continue
+            except (KeyError, TypeError, ValueError):
+                pass  # corrupt record: recompute and overwrite
+        pending.append(spec)
+    if not pending:
+        return outcomes
+
+    trace = _SOURCE_MEMO.get(source)
+    if trace is None:
+        trace = trace_source(source)
+        _SOURCE_MEMO[source] = trace
+    config = config_by_name(config_name)
+    items = [(build_simulator(spec), config) for spec in pending]
+    results = fastpath.simulate_sweep(trace, items, backend=backend)
+    share = (time.perf_counter() - start) / len(pending)
+    for spec, result in zip(pending, results):
+        if cacheable:
+            cache.store_result(
+                source_cell_key(spec, source, config_name),
+                {
+                    "trace": result.trace_name,
+                    "simulator": result.simulator,
+                    "instructions": result.instructions,
+                    "cycles": result.cycles,
+                    "detail": dict(result.detail or {}),
+                },
+            )
+        outcomes.append(SourceOutcome(
+            source=source,
+            machine=spec,
+            config=config_name,
+            instructions=result.instructions,
+            cycles=result.cycles,
+            seconds=share,
+            result_hit=False,
+            pid=os.getpid(),
+        ))
+    return outcomes
+
+
+def _source_group_in_pool(
+    payload: Tuple[Tuple[str, ...], str, str, str]
+) -> List[SourceOutcome]:
+    specs, source, config_name, backend = payload
+    return _evaluate_source_group(
+        specs, source, config_name, _WORKER_CACHE, backend
+    )
+
+
+@dataclass(frozen=True)
+class SourceSweepRun:
+    """A finished source sweep, in deterministic (source, spec) order."""
+
+    outcomes: Tuple[SourceOutcome, ...]
+    wall_seconds: float
+    workers: int
+    result_hits: int
+
+    def rate(self, source: str, machine: str) -> float:
+        """The issue rate of one (source, machine) pair."""
+        for outcome in self.outcomes:
+            if outcome.source == source and outcome.machine == machine:
+                return outcome.rate
+        raise KeyError((source, machine))
+
+
+def run_source_sweep(
+    specs: List[str],
+    sources: List[str],
+    *,
+    config: str = "M11BR5",
+    workers: Optional[int] = None,
+    cache: Optional[DiskCache] = None,
+    backend: str = "auto",
+    label: str = "source-sweep",
+    progress: Optional[ProgressCallback] = None,
+) -> SourceSweepRun:
+    """Simulate every machine spec against every trace source, exactly.
+
+    The explorer's verification stage: one sweep group per source (all
+    specs replay the same resolved trace through the fast-path sweep
+    entry point), fanned out over a process pool for multiple sources.
+    Results come back in deterministic (source, spec) input order
+    regardless of completion order.  *sources* must be normalised spec
+    strings; *progress* receives one event per completed (source, spec)
+    cell with the source in the ``row`` field.
+    """
+    workers = default_workers() if workers is None else max(1, int(workers))
+    start = time.perf_counter()
+    spec_tuple = tuple(specs)
+    payloads = [
+        (spec_tuple, source, config, backend) for source in sources
+    ]
+
+    total = len(spec_tuple) * len(sources)
+    completed = 0
+
+    def emit(batch: List[SourceOutcome]) -> None:
+        nonlocal completed
+        if progress is None:
+            completed += len(batch)
+            return
+        for outcome in batch:
+            completed += 1
+            progress(ProgressEvent(
+                table_id=label,
+                completed=completed,
+                total=total,
+                index=completed - 1,
+                loop=0,
+                machine=outcome.machine,
+                config=outcome.config,
+                row=outcome.source,
+                seconds=outcome.seconds,
+                result_hit=outcome.result_hit,
+                pid=outcome.pid,
+            ))
+
+    by_source: Dict[str, List[SourceOutcome]] = {}
+    if workers == 1 or len(payloads) <= 1:
+        for payload in payloads:
+            batch = _evaluate_source_group(
+                payload[0], payload[1], payload[2], cache, payload[3]
+            )
+            by_source[payload[1]] = batch
+            emit(batch)
+    else:
+        cache_dir = str(cache.root) if cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)),
+            initializer=_pool_init,
+            initargs=(cache_dir,),
+        ) as pool:
+            futures = {
+                pool.submit(_source_group_in_pool, payload): payload[1]
+                for payload in payloads
+            }
+            for future in as_completed(futures):
+                batch = future.result()
+                by_source[futures[future]] = batch
+                emit(batch)
+
+    order = {spec: i for i, spec in enumerate(spec_tuple)}
+    outcomes: List[SourceOutcome] = []
+    for source in sources:
+        outcomes.extend(
+            sorted(by_source[source], key=lambda o: order[o.machine])
+        )
+    return SourceSweepRun(
+        outcomes=tuple(outcomes),
+        wall_seconds=time.perf_counter() - start,
+        workers=workers,
+        result_hits=sum(1 for o in outcomes if o.result_hit),
+    )

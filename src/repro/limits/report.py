@@ -17,6 +17,7 @@ The "Serial" rows repeat the computation with the WAW-in-order constraint
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 from ..trace import Trace
 from ..core.config import MachineConfig
@@ -54,6 +55,35 @@ class LoopLimits:
     def actual_rate(self) -> float:
         """The binding (smaller) bound for this loop."""
         return min(self.pseudo_dataflow_rate, self.resource_rate)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-serialisable encoding of every limit quantity.
+
+        The shape behind ``repro limits --format json`` and the
+        explorer's anchor tests: rates plus the makespans they derive
+        from, and the per-unit busy spans that identify the resource
+        bottleneck.
+        """
+        return {
+            "trace": self.trace_name,
+            "config": self.config.name,
+            "serial": self.serial,
+            "instructions": self.dataflow.instructions,
+            "pseudo_dataflow": {
+                "makespan": self.dataflow.makespan,
+                "rate": self.pseudo_dataflow_rate,
+            },
+            "resource": {
+                "makespan": self.resource.makespan,
+                "rate": self.resource_rate,
+                "bottleneck": self.resource.bottleneck.value,
+                "unit_times": {
+                    unit.value: span
+                    for unit, span in self.resource.unit_times.items()
+                },
+            },
+            "actual_rate": self.actual_rate,
+        }
 
 
 def compute_limits(

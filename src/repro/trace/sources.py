@@ -547,58 +547,25 @@ class SourceStats:
 
 
 def source_statistics(trace: Trace) -> SourceStats:
-    """Compute the :class:`SourceStats` summary of *trace*."""
-    from ..core.fastpath.ir import UNITS, compile_trace
+    """Compute the :class:`SourceStats` summary of *trace*.
 
-    compiled = compile_trace(trace)
-    n = compiled.n
-    last_writer: Dict[int, int] = {}
-    distances_total = 0
-    dependent = 0
-    branches = 0
-    memory = 0
-    vector = 0
-    unit_counts = [0] * len(UNITS)
-    memory_unit = next(
-        i for i, u in enumerate(UNITS) if u.name == "MEMORY"
-    )
+    A view over :func:`repro.trace.stats.ir_statistics` -- the richer
+    compiled-IR summary the design-space explorer consumes -- so both
+    report identical numbers from a single walk of the IR.
+    """
+    from .stats import ir_statistics
 
-    for index, op in enumerate(compiled.ops):
-        unit, dest, srcs, is_branch, _taken, is_vector, _vl, _bus, _cond = op
-        unit_counts[unit] += 1
-        if is_branch:
-            branches += 1
-        if unit == memory_unit:
-            memory += 1
-        if is_vector:
-            vector += 1
-        nearest = None
-        for src in srcs:
-            producer = last_writer.get(src)
-            if producer is not None:
-                distance = index - producer
-                if nearest is None or distance < nearest:
-                    nearest = distance
-        if nearest is not None:
-            dependent += 1
-            distances_total += nearest
-        if dest >= 0:
-            last_writer[dest] = index
-
+    ir = ir_statistics(trace)
     return SourceStats(
-        name=trace.name,
-        length=n,
-        branch_fraction=branches / n,
-        memory_fraction=memory / n,
-        vector_fraction=vector / n,
-        mean_dependence_distance=(
-            distances_total / dependent if dependent else 0.0
-        ),
-        dependent_fraction=dependent / n,
+        name=ir.name,
+        length=ir.length,
+        branch_fraction=ir.branch_fraction,
+        memory_fraction=ir.memory_fraction,
+        vector_fraction=ir.vector_fraction,
+        mean_dependence_distance=ir.mean_dependence_distance,
+        dependent_fraction=ir.dependent_fraction,
         fu_demand={
-            UNITS[i].value: unit_counts[i] / n
-            for i in range(len(UNITS))
-            if unit_counts[i]
+            unit: count / ir.length for unit, count in ir.unit_counts.items()
         },
     )
 

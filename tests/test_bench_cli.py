@@ -29,7 +29,7 @@ def _tiny_args(out_path, *extra):
     return [
         "bench", "--quick", "--quiet",
         "--seeds", "2", "--trace-length", "64", "--rounds", "1",
-        "--machines", "cray", "--no-engine",
+        "--machines", "cray", "--no-engine", "--no-explore",
         "--out", str(out_path),
         *extra,
     ]
@@ -71,6 +71,8 @@ class TestQuickRun:
         assert "table.table1.wall" in ids
         assert "engine.table1.cold" in ids
         assert "engine.table1.warm" in ids
+        assert "explore.screen.rate" in ids
+        assert "explore.e2e.speedup" in ids
 
     def test_speedup_exceeds_acceptance_floor(self, quick_report):
         """The PR's acceptance target: >= 3x on the fast-path machines."""

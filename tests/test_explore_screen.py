@@ -1,0 +1,142 @@
+"""Vectorised screening: frontier extraction, band bounds, caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.explore.model import build_anchors
+from repro.explore.screen import (
+    pareto_frontier,
+    screen_space,
+    verification_band,
+)
+from repro.explore.space import parse_space
+from repro.trace import DiskCache
+
+SOURCE = "branchy:seed=3:n=200"
+SPACE = "family=ruu;width=1..4;window=4..32:4;bus=nbus,1bus;fu=1,2"
+
+
+def _brute_force_frontier(costs, rates):
+    """O(n^2) dominance check with the same tie rules as the one-pass
+    extraction: best rate per cost, strictly improving on all cheaper
+    candidates, cheapest kept on rate ties."""
+    keep = []
+    for i in range(len(costs)):
+        dominated = False
+        for j in range(len(costs)):
+            if i == j:
+                continue
+            if costs[j] <= costs[i] and rates[j] >= rates[i] and (
+                costs[j] < costs[i] or rates[j] > rates[i]
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return sorted(keep, key=lambda i: costs[i])
+
+
+class TestParetoFrontier:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force(self, seed):
+        rng = np.random.RandomState(seed)
+        n = 200
+        costs = rng.randint(1, 50, size=n).astype(np.int64)
+        rates = rng.rand(n)  # continuous: no exact rate ties
+        frontier = pareto_frontier(costs, rates)
+        assert list(frontier) == _brute_force_frontier(costs, rates)
+
+    def test_ascending_cost_strictly_increasing_rate(self):
+        rng = np.random.RandomState(7)
+        costs = rng.randint(1, 30, size=500).astype(np.int64)
+        rates = rng.rand(500)
+        frontier = pareto_frontier(costs, rates)
+        assert np.all(np.diff(costs[frontier]) > 0)
+        assert np.all(np.diff(rates[frontier]) > 0)
+
+    def test_single_candidate(self):
+        frontier = pareto_frontier(
+            np.array([5], dtype=np.int64), np.array([1.0])
+        )
+        assert list(frontier) == [0]
+
+
+class TestVerificationBand:
+    def _arrays(self, seed=11, n=400):
+        rng = np.random.RandomState(seed)
+        costs = rng.randint(1, 60, size=n).astype(np.int64)
+        rates = rng.rand(n)
+        return costs, rates, pareto_frontier(costs, rates)
+
+    def test_band_is_bounded_and_disjoint_from_frontier(self):
+        costs, rates, frontier = self._arrays()
+        band = verification_band(costs, rates, frontier, per_segment=3)
+        assert len(band) <= 3 * len(frontier)
+        assert not set(band) & set(frontier)
+
+    def test_band_members_are_within_slack(self):
+        costs, rates, frontier = self._arrays()
+        slack = 0.2
+        band = verification_band(costs, rates, frontier, slack=slack)
+        frontier_costs = costs[frontier]
+        frontier_rates = rates[frontier]
+        for index in band:
+            segment = np.searchsorted(
+                frontier_costs, costs[index], side="right"
+            ) - 1
+            assert segment >= 0
+            assert rates[index] >= (1 - slack) * frontier_rates[segment]
+
+    def test_zero_per_segment_empty(self):
+        costs, rates, frontier = self._arrays()
+        band = verification_band(costs, rates, frontier, per_segment=0)
+        assert len(band) == 0
+
+
+class TestScreenSpace:
+    @pytest.fixture(scope="class")
+    def anchors(self):
+        return [build_anchors(SOURCE)]
+
+    def test_live_screen_shape(self, anchors):
+        space = parse_space(SPACE)
+        result = screen_space(space, anchors)
+        assert result.total == space.size
+        assert not result.cached and result.scored
+        assert len(result.frontier) > 0
+        # rate_of/cost_of agree with the full arrays on the live path.
+        for index in list(result.frontier) + list(result.band):
+            assert result.rate_of(int(index)) == float(result.rates[index])
+            assert result.cost_of(int(index)) == int(result.costs[index])
+
+    def test_cache_round_trip_preserves_selection(self, anchors, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        space = parse_space(SPACE)
+        cold = screen_space(space, anchors, cache=cache)
+        warm = screen_space(space, anchors, cache=cache)
+        assert not cold.cached and warm.cached
+        assert list(warm.frontier) == list(cold.frontier)
+        assert list(warm.band) == list(cold.band)
+        for index in list(cold.frontier) + list(cold.band):
+            assert warm.rate_of(int(index)) == pytest.approx(
+                cold.rate_of(int(index))
+            )
+            assert warm.cost_of(int(index)) == cold.cost_of(int(index))
+
+    def test_cache_key_includes_sources(self, anchors, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        space = parse_space(SPACE)
+        screen_space(space, anchors, cache=cache)
+        other = [build_anchors("pointer:seed=5:n=200")]
+        result = screen_space(space, other, cache=cache)
+        assert not result.cached  # different trace set, different record
+
+    def test_determinism(self, anchors):
+        space = parse_space(SPACE)
+        a = screen_space(space, anchors)
+        b = screen_space(space, anchors)
+        assert list(a.frontier) == list(b.frontier)
+        assert list(a.band) == list(b.band)
+        assert np.allclose(a.rates, b.rates)

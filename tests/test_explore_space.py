@@ -1,0 +1,145 @@
+"""Design-space grammar, expansion and cost model (`repro.explore.space`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.explore.space import (
+    BUSES,
+    FAMILIES,
+    SpaceError,
+    expand_space,
+    parse_space,
+)
+
+
+class TestParse:
+    def test_full_grammar(self):
+        space = parse_space(
+            "family=inorder,ooo,ruu;width=1,2,4..8:2;window=8..16:8;"
+            "bus=nbus,1bus;fu=1,2;config=M5BR2"
+        )
+        assert space.families == ("inorder", "ooo", "ruu")
+        assert space.widths == (1, 2, 4, 6, 8)
+        assert space.windows == (8, 16)
+        assert space.buses == ("1bus", "nbus")
+        assert space.fu_counts == (1, 2)
+        assert space.config == "M5BR2"
+
+    def test_defaults(self):
+        space = parse_space("family=ruu")
+        assert space.widths == (1,)
+        assert space.windows == (16,)
+        assert space.buses == ("nbus",)
+        assert space.fu_counts == (1,)
+        assert space.config == "M11BR5"
+
+    def test_default_config_override(self):
+        assert parse_space("family=ruu", default_config="M5BR5").config == "M5BR5"
+        # An explicit config= axis wins over the default.
+        space = parse_space("family=ruu;config=M11BR2", default_config="M5BR5")
+        assert space.config == "M11BR2"
+
+    def test_size_counts_ruu_and_flat_families(self):
+        # ruu: 2 widths x 2 windows x 1 bus x 2 fu = 8; inorder: 2 widths
+        # x 1 bus = 2 (window/fu don't apply).
+        space = parse_space(
+            "family=inorder,ruu;width=1,2;window=4,8;bus=nbus;fu=1,2"
+        )
+        assert space.size == 8 + 2
+        assert expand_space(space).n == space.size
+
+    def test_ruu_skips_xbar_in_mixed_spaces(self):
+        space = parse_space("family=ooo,ruu;width=2;bus=xbar")
+        # Only the ooo candidate survives; ruu contributes nothing.
+        grid = expand_space(space)
+        assert space.size == grid.n == 1
+        assert grid.machine_spec(0) == "ooo:2:xbar"
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("width=2", "family"),                       # family required
+        ("family=ruu;family=ooo", "duplicate"),
+        ("family=ruu;volume=3", "unknown axis"),
+        ("family=vliw", "unknown value"),
+        ("family=ruu;width=0", ">= 1"),
+        ("family=ruu;width=8..2", "empty range"),
+        ("family=ruu;width=1..8:0", "step"),
+        ("family=ruu;width=abc", "bad integer"),
+        ("family=ruu;width", "key=values"),
+        ("family=ruu;config=M99", "M99"),
+        ("family=ruu;bus=xbar", "xbar"),
+        ("family=ruu;width=1..3000;window=1..3000", "cap"),
+    ])
+    def test_errors_are_space_errors(self, spec, fragment):
+        with pytest.raises(SpaceError) as err:
+            parse_space(spec)
+        assert fragment.lower() in str(err.value).lower()
+        assert err.value.spec == spec
+        assert isinstance(err.value, ValueError)
+
+
+class TestGrid:
+    def test_machine_specs_are_registry_valid(self):
+        grid = expand_space(parse_space(
+            "family=inorder,ooo,ruu;width=1,3;window=4;bus=nbus,1bus;fu=1,2"
+        ))
+        for index in range(grid.n):
+            spec = grid.machine_spec(index)
+            parsed = api.parse_spec(spec)  # raises UnknownSpecError if bad
+            assert parsed.head in FAMILIES
+
+    def test_fu_suffix_only_when_duplicated(self):
+        grid = expand_space(parse_space(
+            "family=ruu;width=2;window=8;bus=nbus;fu=1,2"
+        ))
+        specs = {grid.machine_spec(i) for i in range(grid.n)}
+        assert specs == {"ruu:2:8:nbus", "ruu:2:8:nbus:fu=2"}
+
+    def test_costs_monotone_in_each_knob(self):
+        grid = expand_space(parse_space(
+            "family=ruu;width=1..4;window=4..32:4;bus=nbus;fu=1..3"
+        ))
+        costs = grid.costs()
+        order = {"width": grid.width, "window": grid.window, "fu": grid.fu}
+        for name, column in order.items():
+            others = [c for k, c in order.items() if k != name]
+            for i in range(grid.n):
+                for j in range(grid.n):
+                    if all(o[i] == o[j] for o in others) and (
+                        column[i] < column[j]
+                    ):
+                        assert costs[i] < costs[j], (name, i, j)
+
+    def test_costs_match_scalar_formula(self):
+        grid = expand_space(parse_space(
+            "family=inorder,ooo,ruu;width=1,2;window=8;bus=nbus,1bus;fu=1,2"
+        ))
+        from repro.explore.space import (
+            BUS_COST, FAMILY_BASE_COST, FU_COPY_COST, ONE_BUS_COST,
+            WIDTH_COST,
+        )
+        costs = grid.costs()
+        for i in range(grid.n):
+            family = FAMILIES[grid.family[i]]
+            bus = BUSES[grid.bus[i]]
+            expected = (
+                FAMILY_BASE_COST[family]
+                + WIDTH_COST * int(grid.width[i])
+                + int(grid.window[i])
+                + FU_COPY_COST * (int(grid.fu[i]) - 1)
+                + BUS_COST[bus] * int(grid.width[i])
+                + (ONE_BUS_COST if bus == "1bus" else 0)
+            )
+            assert costs[i] == expected
+
+    def test_expansion_is_deterministic(self):
+        spec = "family=ruu,ooo;width=1..4;window=4,16;bus=nbus,1bus;fu=1,2"
+        a = expand_space(parse_space(spec))
+        b = expand_space(parse_space(spec))
+        assert np.array_equal(a.family, b.family)
+        assert np.array_equal(a.width, b.width)
+        assert np.array_equal(a.window, b.window)
+        assert np.array_equal(a.bus, b.bus)
+        assert np.array_equal(a.fu, b.fu)
